@@ -1,0 +1,74 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emogi::bench {
+
+BenchOptions BenchOptions::FromEnv() {
+  BenchOptions options;
+  if (const char* scale = std::getenv("EMOGI_SCALE")) {
+    options.scale = std::strtoull(scale, nullptr, 10);
+    if (options.scale == 0) options.scale = 512;
+  }
+  if (const char* sources = std::getenv("EMOGI_SOURCES")) {
+    options.sources = std::atoi(sources);
+    if (options.sources <= 0) options.sources = 4;
+  }
+  return options;
+}
+
+graph::Csr LoadDataset(const std::string& symbol,
+                       const BenchOptions& options) {
+  return graph::LoadOrGenerateDataset(symbol, options.scale);
+}
+
+std::vector<graph::VertexId> Sources(const graph::Csr& csr,
+                                     const BenchOptions& options) {
+  return graph::PickSources(csr, options.sources);
+}
+
+void PrintHeader(const std::string& experiment, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<std::string>& cells,
+              int label_width, int cell_width) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& cell : cells) {
+    std::printf("%*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatCount(std::uint64_t value) {
+  char buffer[64];
+  if (value >= 10'000'000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", value / 1e6);
+  } else if (value >= 10'000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buffer;
+}
+
+std::string FormatTimeMs(double ns) { return FormatDouble(ns / 1e6, 3) + "ms"; }
+
+double MeanTimeNs(const std::vector<core::TraversalStats>& runs) {
+  if (runs.empty()) return 0;
+  double total = 0;
+  for (const auto& r : runs) total += r.total_time_ns;
+  return total / static_cast<double>(runs.size());
+}
+
+}  // namespace emogi::bench

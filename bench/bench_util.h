@@ -1,0 +1,55 @@
+// Shared helpers for the per-figure/table bench binaries.
+
+#ifndef EMOGI_BENCH_BENCH_UTIL_H_
+#define EMOGI_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/traversal.h"
+#include "graph/csr.h"
+#include "graph/datasets.h"
+
+namespace emogi::bench {
+
+// Runtime knobs shared by all bench binaries, settable via environment:
+//   EMOGI_SCALE    dataset/GPU-memory scale divisor (default 512, the
+//                  calibrated value; larger = faster, smaller graphs).
+//   EMOGI_SOURCES  BFS/SSSP sources averaged per measurement (default 4;
+//                  the paper uses 64).
+struct BenchOptions {
+  std::uint64_t scale = 512;
+  int sources = 4;
+
+  static BenchOptions FromEnv();
+};
+
+// Loads (or generates+caches) a dataset at the bench scale with the GPU
+// memory scale factor applied to `device` configs by the caller.
+graph::Csr LoadDataset(const std::string& symbol, const BenchOptions& options);
+
+// Deterministic sources for the dataset.
+std::vector<graph::VertexId> Sources(const graph::Csr& csr,
+                                     const BenchOptions& options);
+
+// --- Table formatting -------------------------------------------------------
+
+// Prints a header box: figure/table id plus description.
+void PrintHeader(const std::string& experiment, const std::string& what);
+
+// Prints one row of label -> formatted columns.
+void PrintRow(const std::string& label, const std::vector<std::string>& cells,
+              int label_width = 18, int cell_width = 12);
+
+std::string FormatDouble(double value, int decimals = 2);
+std::string FormatCount(std::uint64_t value);
+std::string FormatTimeMs(double ns);
+
+// Mean over per-run simulated times, in ns.
+double MeanTimeNs(const std::vector<core::TraversalStats>& runs);
+
+}  // namespace emogi::bench
+
+#endif  // EMOGI_BENCH_BENCH_UTIL_H_
