@@ -30,7 +30,7 @@ void Run() {
 
   PrintRow("graph", {"ratio", "plain ms", "compr ms", "speedup"}, 8, 12);
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const graph::CompressedEdgeList compressed =
         graph::CompressedEdgeList::Build(csr);
     const auto source = Sources(csr, options)[0];

@@ -18,7 +18,7 @@ void Run() {
   PrintHeader("Ablation: PCIe round-trip time",
               "BFS bandwidth (GB/s) on GK vs RTT, Naive vs Merged+Aligned");
 
-  const graph::Csr csr = LoadDataset("GK", options);
+  const graph::Csr& csr = LoadDataset("GK", options);
   const auto sources = Sources(csr, options);
 
   PrintRow("RTT (us)", {"Naive", "Merged+Aligned"}, 12, 16);

@@ -20,7 +20,7 @@ void Run() {
 
   PrintRow("graph/lanes", {"time", "requests", "128B%", "GB/s"}, 16, 12);
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto sources = Sources(csr, options);
     for (const int lanes : {4, 8, 16, 32}) {
       core::EmogiConfig config = core::EmogiConfig::MergedAligned();

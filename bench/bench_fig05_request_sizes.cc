@@ -34,7 +34,7 @@ void Run() {
 
   PrintRow("graph/impl", {"32B%", "64B%", "96B%", "128B%"}, 22, 9);
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto sources = Sources(csr, options);
     for (const Impl& impl : impls) {
       core::Traversal traversal(csr, impl.config);

@@ -24,7 +24,7 @@ void Run() {
   PrintRow("graph", header, 8, 8);
 
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto cdf = graph::EdgeCdfByDegree(csr, degrees);
     std::vector<std::string> cells;
     for (const double p : cdf) cells.push_back(FormatDouble(p, 2));

@@ -33,7 +33,7 @@ void Run() {
   PrintRow("graph", {"Naive", "Merged", "+Aligned", "M vs N", "A vs M"}, 8,
            11);
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto sources = Sources(csr, options);
     std::vector<double> requests;
     for (const Impl& impl : impls) {

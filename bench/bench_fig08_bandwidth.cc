@@ -39,7 +39,7 @@ void Run() {
 
   PrintRow("graph", {"UVM", "Naive", "Merged", "M+Aligned"});
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto sources = Sources(csr, options);
     std::vector<std::string> cells;
     for (const Impl& impl : impls) {

@@ -27,7 +27,7 @@ void Run() {
 
   PrintRow("graph", {"UVM", "EMOGI"});
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto sources = Sources(csr, options);
 
     core::Traversal uvm_traversal(csr, uvm);

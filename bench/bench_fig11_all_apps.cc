@@ -31,7 +31,7 @@ void Run() {
   // SSSP and BFS on all graphs, per-source averaged.
   for (const char* app : {"SSSP", "BFS"}) {
     for (const std::string& symbol : graph::AllDatasetSymbols()) {
-      const graph::Csr csr = LoadDataset(symbol, options);
+      const graph::Csr& csr = LoadDataset(symbol, options);
       const auto sources = Sources(csr, options);
       core::Traversal uvm_traversal(csr, uvm);
       core::Traversal emogi_traversal(csr, emogi);
@@ -52,7 +52,7 @@ void Run() {
 
   // CC on the undirected graphs (no sources; one deterministic run).
   for (const std::string& symbol : graph::UndirectedDatasetSymbols()) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     core::Traversal uvm_traversal(csr, uvm);
     core::Traversal emogi_traversal(csr, emogi);
     const double uvm_ns = uvm_traversal.Cc().stats.total_time_ns;

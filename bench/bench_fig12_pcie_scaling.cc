@@ -60,7 +60,7 @@ void Run() {
            11);
   std::vector<double> sums(4, 0);
   for (const Workload& w : workloads) {
-    const graph::Csr csr = LoadDataset(w.symbol, options);
+    const graph::Csr& csr = LoadDataset(w.symbol, options);
     const auto sources = Sources(csr, options);
     std::vector<double> times;
     for (const auto& config : configs) {

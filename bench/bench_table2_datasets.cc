@@ -20,7 +20,7 @@ void Run() {
            6, 11);
   for (const std::string& symbol : graph::AllDatasetSymbols()) {
     const graph::DatasetInfo& info = graph::GetDatasetInfo(symbol);
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     PrintRow(symbol,
              {FormatDouble(info.paper_vertices_m, 1) + "M",
               FormatDouble(info.paper_edges_b, 2) + "B",

@@ -43,7 +43,7 @@ void Run() {
 
   for (const std::string& symbol : {std::string("ML"), std::string("FS"),
                                     std::string("SK"), std::string("UK5")}) {
-    const graph::Csr csr = LoadDataset(symbol, options);
+    const graph::Csr& csr = LoadDataset(symbol, options);
     const auto sources = Sources(csr, options);
     baselines::Halo halo(csr, halo_config);
     core::Traversal emogi(csr, emogi_xp);

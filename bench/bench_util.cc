@@ -1,25 +1,56 @@
 #include "bench_util.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 namespace emogi::bench {
+namespace {
+
+// Parses a positive integer env knob no greater than `max`. Returns
+// false (and warns on stderr, leaving the caller's default in place) on
+// anything that is not a clean in-range positive number -- silent
+// zero-clamping of garbage like EMOGI_SOURCES=abc used to hide typos.
+bool ParsePositiveEnv(const char* name, const char* text, std::uint64_t max,
+                      std::uint64_t* value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  // The leading-digit requirement rejects the forms strtoull would
+  // quietly accept: whitespace, '+', and (wrapping!) '-' prefixes.
+  if (!std::isdigit(static_cast<unsigned char>(text[0])) || *end != '\0' ||
+      errno == ERANGE || parsed == 0 || parsed > max) {
+    std::fprintf(
+        stderr,
+        "warning: ignoring %s='%s' (expected a positive integer <= %llu)\n",
+        name, text, static_cast<unsigned long long>(max));
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
 
 BenchOptions BenchOptions::FromEnv() {
   BenchOptions options;
+  std::uint64_t value = 0;
   if (const char* scale = std::getenv("EMOGI_SCALE")) {
-    options.scale = std::strtoull(scale, nullptr, 10);
-    if (options.scale == 0) options.scale = 512;
+    if (ParsePositiveEnv("EMOGI_SCALE", scale, ~0ull, &value)) {
+      options.scale = value;
+    }
   }
   if (const char* sources = std::getenv("EMOGI_SOURCES")) {
-    options.sources = std::atoi(sources);
-    if (options.sources <= 0) options.sources = 4;
+    if (ParsePositiveEnv("EMOGI_SOURCES", sources, 0x7fffffffull, &value)) {
+      options.sources = static_cast<int>(value);
+    }
   }
   return options;
 }
 
-graph::Csr LoadDataset(const std::string& symbol,
-                       const BenchOptions& options) {
+const graph::Csr& LoadDataset(const std::string& symbol,
+                              const BenchOptions& options) {
   return graph::LoadOrGenerateDataset(symbol, options.scale);
 }
 

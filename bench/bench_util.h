@@ -27,8 +27,10 @@ struct BenchOptions {
 };
 
 // Loads (or generates+caches) a dataset at the bench scale with the GPU
-// memory scale factor applied to `device` configs by the caller.
-graph::Csr LoadDataset(const std::string& symbol, const BenchOptions& options);
+// memory scale factor applied to `device` configs by the caller. The
+// reference is into the process-lifetime cache; copy it to mutate.
+const graph::Csr& LoadDataset(const std::string& symbol,
+                              const BenchOptions& options);
 
 // Deterministic sources for the dataset.
 std::vector<graph::VertexId> Sources(const graph::Csr& csr,

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the ctest suite, then smoke
+# the figure-9 bench at a fast scale. Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo
+echo "=== smoke: bench_fig09 at EMOGI_SCALE=4096 ==="
+EMOGI_SCALE=4096 ./build/bench_fig09_bfs_speedup

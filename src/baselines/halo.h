@@ -1,0 +1,31 @@
+// HALO baseline (Gera et al.): BFS over UVM with a graph layout
+// reordered for locality. Modeled as the UVM traversal with a calibrated
+// locality discount on the paging cost -- a stub with behavior, kept so
+// the table-3 bench exercises a real code path until a faithful HALO
+// model lands.
+
+#ifndef EMOGI_BASELINES_HALO_H_
+#define EMOGI_BASELINES_HALO_H_
+
+#include "core/config.h"
+#include "core/traversal.h"
+#include "graph/csr.h"
+
+namespace emogi::baselines {
+
+class Halo {
+ public:
+  // `config`'s device is honored (the paper runs HALO on a Titan Xp);
+  // its access mode is ignored -- HALO always pages through UVM.
+  Halo(const graph::Csr& csr, const core::EmogiConfig& config);
+
+  core::BfsRun Bfs(graph::VertexId source);
+
+ private:
+  const graph::Csr& csr_;
+  core::EmogiConfig config_;
+};
+
+}  // namespace emogi::baselines
+
+#endif  // EMOGI_BASELINES_HALO_H_

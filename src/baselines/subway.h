@@ -1,0 +1,45 @@
+// Subway baseline (Sabet et al.): before every iteration the host
+// extracts the subgraph induced by the active vertices and bulk-copies it
+// to the GPU. Each active edge therefore pays a CPU extraction cost and a
+// bulk-transfer cost per iteration it stays active, plus a fixed
+// host/device round trip -- a stub with behavior that reproduces the
+// system's cost shape without its code.
+
+#ifndef EMOGI_BASELINES_SUBWAY_H_
+#define EMOGI_BASELINES_SUBWAY_H_
+
+#include "core/stats.h"
+#include "core/traversal.h"
+#include "graph/csr.h"
+#include "sim/device.h"
+
+namespace emogi::baselines {
+
+struct SubwayConfig {
+  sim::GpuDeviceConfig device = sim::GpuDeviceConfig::V100();
+  // Host-side subgraph extraction rate (single socket, GB/s).
+  double cpu_build_gbps = 5.0;
+  // Per-iteration host/device synchronization + allocation overhead.
+  double iteration_overhead_ns = 150000.0;
+};
+
+class Subway {
+ public:
+  Subway(const graph::Csr& csr, const SubwayConfig& config);
+
+  core::BfsRun Bfs(graph::VertexId source);
+  core::SsspRun Sssp(graph::VertexId source);
+  core::CcRun Cc();
+
+ private:
+  // Charges one iteration that activates `active_edges` edges.
+  void ChargeIteration(std::uint64_t active_edges,
+                       core::TraversalStats* stats) const;
+
+  const graph::Csr& csr_;
+  SubwayConfig config_;
+};
+
+}  // namespace emogi::baselines
+
+#endif  // EMOGI_BASELINES_SUBWAY_H_

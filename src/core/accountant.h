@@ -1,0 +1,95 @@
+// Traffic accountants: turn neighbor-list scans into PCIe requests and
+// kernel times under a given access mode.
+//
+// ZeroCopyAccountant models the paper's pinned-host-memory kernels. A
+// worker of `worker_lanes` threads scans a list in windows of
+// lanes*elem_bytes bytes; each window is one warp memory instruction,
+// which the coalescer splits into sector-rounded, cacheline-bounded
+// requests (naive mode instead issues one 32B sector request per
+// element). CloseKernel() converts the accumulated request mix into
+// kernel time: max(wire occupancy, tag-window occupancy, compute).
+//
+// UvmAccountant models the managed-memory baseline: accesses hit the
+// page table, misses migrate whole pages at bulk bandwidth plus a serial
+// per-fault handler charge.
+
+#ifndef EMOGI_CORE_ACCOUNTANT_H_
+#define EMOGI_CORE_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/stats.h"
+#include "sim/pcie.h"
+#include "uvm/page_table.h"
+
+namespace emogi::core {
+
+struct KernelCost {
+  double total_ns = 0;
+  double wire_ns = 0;
+  double latency_ns = 0;
+  double compute_ns = 0;
+  double fault_ns = 0;
+};
+
+class ZeroCopyAccountant {
+ public:
+  explicit ZeroCopyAccountant(const EmogiConfig& config);
+
+  // One worker scans elements [elem_begin, elem_end) of an array whose
+  // element 0 starts at byte address `base_addr` in host memory.
+  void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
+                  std::uint64_t elem_end, std::uint32_t elem_bytes);
+
+  // Ends the current kernel, charging `work_edges` of compute, and folds
+  // the kernel into the running stats. Returns this kernel's cost.
+  KernelCost CloseKernel(std::uint64_t work_edges);
+
+  const TraversalStats& stats() const { return stats_; }
+  TraversalStats* mutable_stats() { return &stats_; }
+
+ private:
+  void AddSpanRequests(sim::Addr begin, sim::Addr end);
+
+  EmogiConfig config_;
+  sim::PcieTimingModel pcie_;
+  TraversalStats stats_;
+  // Current-kernel accumulators.
+  RequestHistogram kernel_requests_;
+  std::uint64_t kernel_request_count_ = 0;
+  double kernel_wire_ns_ = 0;
+  std::uint64_t kernel_bytes_ = 0;
+};
+
+class UvmAccountant {
+ public:
+  // `managed_bytes` is the size of the managed allocation the scans
+  // address (edge list, plus weights for SSSP).
+  UvmAccountant(const EmogiConfig& config, std::uint64_t managed_bytes);
+
+  void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
+                  std::uint64_t elem_end, std::uint32_t elem_bytes);
+
+  KernelCost CloseKernel(std::uint64_t work_edges);
+
+  const TraversalStats& stats() const { return stats_; }
+  TraversalStats* mutable_stats() { return &stats_; }
+
+ private:
+  EmogiConfig config_;
+  sim::PcieTimingModel pcie_;
+  uvm::PageTable table_;
+  TraversalStats stats_;
+  std::uint64_t kernel_faults_ = 0;
+  // Fault replays batched away within one kernel: a page touched twice in
+  // the same kernel migrates at most once, even across an eviction (the
+  // driver's fault batching and the kernel's latency hiding absorb it).
+  std::vector<std::uint32_t> touched_epoch_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace emogi::core
+
+#endif  // EMOGI_CORE_ACCOUNTANT_H_

@@ -1,0 +1,35 @@
+#include "core/config.h"
+
+namespace emogi::core {
+namespace {
+
+EmogiConfig WithMode(AccessMode mode) {
+  EmogiConfig config;
+  config.mode = mode;
+  return config;
+}
+
+}  // namespace
+
+const char* ToString(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kUvm:
+      return "UVM";
+    case AccessMode::kNaive:
+      return "Naive";
+    case AccessMode::kMerged:
+      return "Merged";
+    case AccessMode::kMergedAligned:
+      return "Merged+Aligned";
+  }
+  return "?";
+}
+
+EmogiConfig EmogiConfig::Uvm() { return WithMode(AccessMode::kUvm); }
+EmogiConfig EmogiConfig::Naive() { return WithMode(AccessMode::kNaive); }
+EmogiConfig EmogiConfig::Merged() { return WithMode(AccessMode::kMerged); }
+EmogiConfig EmogiConfig::MergedAligned() {
+  return WithMode(AccessMode::kMergedAligned);
+}
+
+}  // namespace emogi::core

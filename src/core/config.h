@@ -1,0 +1,34 @@
+// Top-level configuration: which access method the simulated kernels use
+// and on what device. The four factory configs mirror the paper's
+// implementations: the UVM baseline plus the three zero-copy variants
+// (naive vertex-per-thread, merged warp-per-vertex, merged+shifted-start
+// aligned).
+
+#ifndef EMOGI_CORE_CONFIG_H_
+#define EMOGI_CORE_CONFIG_H_
+
+#include "sim/coalescer.h"
+#include "sim/device.h"
+
+namespace emogi::core {
+
+enum class AccessMode { kUvm, kNaive, kMerged, kMergedAligned };
+
+const char* ToString(AccessMode mode);
+
+struct EmogiConfig {
+  AccessMode mode = AccessMode::kMergedAligned;
+  sim::GpuDeviceConfig device = sim::GpuDeviceConfig::V100();
+  // Lanes cooperating on one neighbor list (paper section 4.3.1 fixes
+  // this to a full 32-thread warp; the ablation sweeps it).
+  int worker_lanes = sim::kWarpSize;
+
+  static EmogiConfig Uvm();
+  static EmogiConfig Naive();
+  static EmogiConfig Merged();
+  static EmogiConfig MergedAligned();
+};
+
+}  // namespace emogi::core
+
+#endif  // EMOGI_CORE_CONFIG_H_

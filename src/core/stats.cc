@@ -1,0 +1,61 @@
+#include "core/stats.h"
+
+namespace emogi::core {
+
+int RequestHistogram::BucketIndex(std::uint32_t bytes) {
+  switch (bytes) {
+    case 32:
+      return 0;
+    case 64:
+      return 1;
+    case 96:
+      return 2;
+    case 128:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+void RequestHistogram::Add(std::uint32_t bytes, std::uint64_t count) {
+  counts_[BucketIndex(bytes)] += count;
+}
+
+void RequestHistogram::Merge(const RequestHistogram& other) {
+  for (int i = 0; i < 5; ++i) counts_[i] += other.counts_[i];
+}
+
+std::uint64_t RequestHistogram::Count(std::uint32_t bytes) const {
+  return counts_[BucketIndex(bytes)];
+}
+
+std::uint64_t RequestHistogram::TotalRequests() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+double RequestHistogram::Fraction(std::uint32_t bytes) const {
+  const std::uint64_t total = TotalRequests();
+  return total ? static_cast<double>(Count(bytes)) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+AggregateStats AggregateStats::Summarize(
+    const std::vector<TraversalStats>& runs) {
+  AggregateStats aggregate;
+  if (runs.empty()) return aggregate;
+  const double n = static_cast<double>(runs.size());
+  for (const TraversalStats& run : runs) {
+    aggregate.requests.Merge(run.requests);
+    aggregate.mean_time_ns += run.total_time_ns / n;
+    aggregate.mean_requests +=
+        static_cast<double>(run.requests.TotalRequests()) / n;
+    aggregate.mean_bandwidth_gbps += run.BandwidthGbps() / n;
+    aggregate.mean_amplification += run.Amplification() / n;
+  }
+  return aggregate;
+}
+
+}  // namespace emogi::core

@@ -1,0 +1,66 @@
+// Measurement types shared by the traversal simulator and the benches.
+
+#ifndef EMOGI_CORE_STATS_H_
+#define EMOGI_CORE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace emogi::core {
+
+// Counts of host read requests by size. Zero-copy requests are sector
+// multiples (32/64/96/128B); anything else (UVM page migrations) lands in
+// the `other` bucket.
+class RequestHistogram {
+ public:
+  void Add(std::uint32_t bytes, std::uint64_t count = 1);
+  void Merge(const RequestHistogram& other);
+
+  std::uint64_t Count(std::uint32_t bytes) const;
+  std::uint64_t TotalRequests() const;
+  // Fraction of requests of exactly `bytes` bytes (0 when empty).
+  double Fraction(std::uint32_t bytes) const;
+
+ private:
+  static int BucketIndex(std::uint32_t bytes);
+  std::uint64_t counts_[5] = {0, 0, 0, 0, 0};  // 32, 64, 96, 128, other.
+};
+
+// Per-run (one BFS/SSSP/CC execution) simulated measurements.
+struct TraversalStats {
+  double total_time_ns = 0;
+  double wire_ns = 0;      // Link occupancy.
+  double latency_ns = 0;   // Tag-window occupancy.
+  double compute_ns = 0;   // Kernel-side edge processing.
+  double fault_ns = 0;     // UVM fault-handler time.
+  std::uint64_t bytes_moved = 0;    // Host bytes over the link.
+  std::uint64_t dataset_bytes = 0;  // Bytes the application asked for.
+  std::uint64_t page_faults = 0;
+  std::uint64_t kernels = 0;
+  RequestHistogram requests;
+
+  double BandwidthGbps() const {
+    return total_time_ns > 0 ? static_cast<double>(bytes_moved) / total_time_ns
+                             : 0.0;
+  }
+  double Amplification() const {
+    return dataset_bytes > 0 ? static_cast<double>(bytes_moved) /
+                                   static_cast<double>(dataset_bytes)
+                             : 0.0;
+  }
+};
+
+// Means over a sweep of runs (e.g. one BFS per source).
+struct AggregateStats {
+  RequestHistogram requests;  // Merged over all runs.
+  double mean_time_ns = 0;
+  double mean_requests = 0;
+  double mean_bandwidth_gbps = 0;
+  double mean_amplification = 0;
+
+  static AggregateStats Summarize(const std::vector<TraversalStats>& runs);
+};
+
+}  // namespace emogi::core
+
+#endif  // EMOGI_CORE_STATS_H_

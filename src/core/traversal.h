@@ -1,0 +1,63 @@
+// Graph traversal applications (BFS, SSSP, CC) executed functionally on
+// the CPU while every neighbor-list access is charged to the configured
+// access model (UVM paging or one of the zero-copy request patterns).
+// One frontier iteration == one simulated kernel launch; the vertex-state
+// arrays (levels/distances/labels, frontier flags) live in device memory
+// and are free, exactly as in the paper's kernels -- only the edge list
+// (and SSSP's weight array) crosses the PCIe link.
+
+#ifndef EMOGI_CORE_TRAVERSAL_H_
+#define EMOGI_CORE_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/stats.h"
+#include "graph/csr.h"
+
+namespace emogi::core {
+
+inline constexpr std::uint32_t kNoLevel = 0xffffffffu;
+inline constexpr std::uint64_t kInfDistance = ~0ull;
+
+struct BfsRun {
+  std::vector<std::uint32_t> levels;  // kNoLevel if unreachable.
+  TraversalStats stats;
+};
+
+struct SsspRun {
+  std::vector<std::uint64_t> distances;  // kInfDistance if unreachable.
+  TraversalStats stats;
+};
+
+struct CcRun {
+  // Per-vertex component label: the smallest vertex id in the component
+  // (edges treated as undirected).
+  std::vector<graph::VertexId> labels;
+  TraversalStats stats;
+};
+
+class Traversal {
+ public:
+  Traversal(const graph::Csr& csr, const EmogiConfig& config);
+
+  BfsRun Bfs(graph::VertexId source);
+  SsspRun Sssp(graph::VertexId source);
+  CcRun Cc();
+
+  // One run per source; each run starts from a cold device (empty UVM
+  // residency), as in the paper's per-source measurements.
+  std::vector<TraversalStats> BfsSweep(
+      const std::vector<graph::VertexId>& sources);
+  std::vector<TraversalStats> SsspSweep(
+      const std::vector<graph::VertexId>& sources);
+
+ private:
+  const graph::Csr& csr_;
+  EmogiConfig config_;
+};
+
+}  // namespace emogi::core
+
+#endif  // EMOGI_CORE_TRAVERSAL_H_

@@ -1,0 +1,70 @@
+#include "graph/compressed.h"
+
+namespace emogi::graph {
+namespace {
+
+void AppendVarint(std::uint64_t value, std::vector<std::uint8_t>* blob) {
+  while (value >= 0x80) {
+    blob->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  blob->push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t ReadVarint(const std::vector<std::uint8_t>& blob,
+                         std::uint64_t* cursor) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t byte = blob[(*cursor)++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace
+
+CompressedEdgeList CompressedEdgeList::Build(const Csr& csr) {
+  CompressedEdgeList compressed;
+  const VertexId v_count = csr.num_vertices();
+  compressed.offsets_.resize(static_cast<std::size_t>(v_count) + 1, 0);
+  compressed.blob_.reserve(csr.num_edges() * 2);
+  for (VertexId v = 0; v < v_count; ++v) {
+    compressed.offsets_[v] = compressed.blob_.size();
+    VertexId previous = 0;
+    for (EdgeIndex e = csr.NeighborBegin(v); e < csr.NeighborEnd(v); ++e) {
+      const VertexId neighbor = csr.Neighbor(e);
+      const bool first = e == csr.NeighborBegin(v);
+      AppendVarint(first ? neighbor : neighbor - previous,
+                   &compressed.blob_);
+      previous = neighbor;
+    }
+  }
+  compressed.offsets_[v_count] = compressed.blob_.size();
+  return compressed;
+}
+
+double CompressedEdgeList::RatioVersus(const Csr& csr) const {
+  if (blob_.empty()) return 1.0;
+  return static_cast<double>(csr.EdgeListBytes()) /
+         static_cast<double>(blob_.size());
+}
+
+std::vector<VertexId> CompressedEdgeList::DecodeList(VertexId v) const {
+  std::vector<VertexId> neighbors;
+  std::uint64_t cursor = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+  VertexId previous = 0;
+  while (cursor < end) {
+    const auto delta = static_cast<VertexId>(ReadVarint(blob_, &cursor));
+    const VertexId neighbor =
+        neighbors.empty() ? delta : previous + delta;
+    neighbors.push_back(neighbor);
+    previous = neighbor;
+  }
+  return neighbors;
+}
+
+}  // namespace emogi::graph

@@ -1,0 +1,39 @@
+// Per-list delta+varint compressed edge list (the section-6 "compression
+// over zero-copy" ablation). Lists are encoded independently so a warp
+// can still be assigned one vertex's list and scan a contiguous byte
+// span; neighbor ids are sorted in the CSR, so deltas are non-negative.
+
+#ifndef EMOGI_GRAPH_COMPRESSED_H_
+#define EMOGI_GRAPH_COMPRESSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace emogi::graph {
+
+class CompressedEdgeList {
+ public:
+  static CompressedEdgeList Build(const Csr& csr);
+
+  // Byte offsets of vertex v's encoded list within the blob.
+  std::uint64_t ListBegin(VertexId v) const { return offsets_[v]; }
+  std::uint64_t ListEnd(VertexId v) const { return offsets_[v + 1]; }
+
+  std::uint64_t TotalBytes() const { return blob_.size(); }
+
+  // Uncompressed edge-list bytes / compressed bytes.
+  double RatioVersus(const Csr& csr) const;
+
+  // Decodes one list (tests / correctness oracle).
+  std::vector<VertexId> DecodeList(VertexId v) const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint8_t> blob_;
+};
+
+}  // namespace emogi::graph
+
+#endif  // EMOGI_GRAPH_COMPRESSED_H_

@@ -1,0 +1,44 @@
+#include "graph/csr.h"
+
+#include <utility>
+
+namespace emogi::graph {
+
+Csr::Csr(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors,
+         bool directed, std::string name)
+    : offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      directed_(directed),
+      name_(std::move(name)) {}
+
+bool Csr::Validate(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  if (offsets_.empty()) return fail("empty offsets array");
+  if (offsets_.front() != 0) return fail("offsets[0] != 0");
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      return fail("offsets not monotone at vertex " + std::to_string(i - 1));
+    }
+  }
+  if (offsets_.back() != neighbors_.size()) {
+    return fail("offsets[V] != neighbor count");
+  }
+  const VertexId v_count = num_vertices();
+  for (VertexId v = 0; v < v_count; ++v) {
+    for (EdgeIndex e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      if (neighbors_[e] >= v_count) {
+        return fail("neighbor id out of range at edge " + std::to_string(e));
+      }
+      if (e > offsets_[v] && neighbors_[e] < neighbors_[e - 1]) {
+        return fail("neighbor list of vertex " + std::to_string(v) +
+                    " not sorted");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace emogi::graph

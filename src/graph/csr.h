@@ -1,0 +1,75 @@
+// Compressed sparse row graph storage. This is the storage layer only:
+// access methods (traversal kernels, accountants) live in core/ and
+// program against the offset/neighbor arrays exposed here.
+
+#ifndef EMOGI_GRAPH_CSR_H_
+#define EMOGI_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emogi::graph {
+
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+
+// Deterministic positive weight of the edge at global index `e`, shared
+// by the simulated SSSP kernels and the CPU reference so results are
+// directly comparable.
+inline std::uint32_t EdgeWeight(EdgeIndex e) {
+  std::uint64_t x = (e + 1) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 33;
+  return 1u + static_cast<std::uint32_t>(x % 31u);
+}
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors,
+      bool directed, std::string name);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeIndex num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  EdgeIndex NeighborBegin(VertexId v) const { return offsets_[v]; }
+  EdgeIndex NeighborEnd(VertexId v) const { return offsets_[v + 1]; }
+  EdgeIndex Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  VertexId Neighbor(EdgeIndex e) const { return neighbors_[e]; }
+  const VertexId* NeighborData(EdgeIndex e) const { return &neighbors_[e]; }
+
+  bool directed() const { return directed_; }
+  const std::string& name() const { return name_; }
+
+  // Bytes of one edge element as laid out in (simulated) host memory.
+  // 8 in the paper's default layout; Subway supports only 4.
+  std::uint32_t edge_elem_bytes() const { return edge_elem_bytes_; }
+  void set_edge_elem_bytes(std::uint32_t bytes) { edge_elem_bytes_ = bytes; }
+
+  std::uint64_t EdgeListBytes() const {
+    return num_edges() * static_cast<std::uint64_t>(edge_elem_bytes_);
+  }
+  double AverageDegree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices();
+  }
+
+  // Structural invariants: monotone offsets, offsets[V] == |neighbors|,
+  // neighbor ids in range, per-list neighbors sorted (non-decreasing).
+  // Returns false and fills `error` on the first violation.
+  bool Validate(std::string* error) const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> neighbors_;
+  bool directed_ = false;
+  std::uint32_t edge_elem_bytes_ = 8;
+  std::string name_;
+};
+
+}  // namespace emogi::graph
+
+#endif  // EMOGI_GRAPH_CSR_H_

@@ -1,0 +1,50 @@
+// The paper's six evaluation graphs (table 2) as deterministic scaled
+// analogs: vertex and edge counts are divided by `scale` while the degree
+// distribution keeps its shape, so the access-pattern phenomena the
+// figures measure (request mixes, UVM thrashing, alignment headroom)
+// survive at bench-friendly sizes.
+
+#ifndef EMOGI_GRAPH_DATASETS_H_
+#define EMOGI_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace emogi::graph {
+
+struct DatasetInfo {
+  std::string symbol;
+  std::string full_name;
+  double paper_vertices_m = 0;  // Millions of vertices in the original.
+  double paper_edges_b = 0;     // Billions of edges in the original.
+  double paper_edge_gb = 0;     // Original edge-list size, GB (8B edges).
+  bool directed = false;
+};
+
+// All six symbols, in the paper's order: GU, GK, FS, ML, SK, UK5.
+const std::vector<std::string>& AllDatasetSymbols();
+
+// The undirected subset (CC runs only on these): GU, GK, FS, ML.
+const std::vector<std::string>& UndirectedDatasetSymbols();
+
+// Dies with a clear message on an unknown symbol.
+const DatasetInfo& GetDatasetInfo(const std::string& symbol);
+
+// Returns the scaled analog, generating it on first use and serving an
+// in-process cache afterwards (generation is deterministic, so there is
+// nothing to persist). The reference stays valid for the process
+// lifetime -- the cache never evicts; copy it to mutate (e.g. a
+// different edge_elem_bytes).
+const Csr& LoadOrGenerateDataset(const std::string& symbol,
+                                 std::uint64_t scale);
+
+// Deterministic traversal sources: `count` distinct vertices with nonzero
+// out-degree, identical across runs for a given graph.
+std::vector<VertexId> PickSources(const Csr& csr, int count);
+
+}  // namespace emogi::graph
+
+#endif  // EMOGI_GRAPH_DATASETS_H_

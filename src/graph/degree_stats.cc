@@ -1,0 +1,38 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+
+namespace emogi::graph {
+
+std::vector<double> EdgeCdfByDegree(const Csr& csr,
+                                    const std::vector<EdgeIndex>& thresholds) {
+  std::vector<double> cdf(thresholds.size(), 0.0);
+  if (csr.num_edges() == 0) return cdf;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    EdgeIndex edges_at_or_below = 0;
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      const EdgeIndex degree = csr.Degree(v);
+      if (degree <= thresholds[i]) edges_at_or_below += degree;
+    }
+    cdf[i] = static_cast<double>(edges_at_or_below) /
+             static_cast<double>(csr.num_edges());
+  }
+  return cdf;
+}
+
+DegreeSummary SummarizeDegrees(const Csr& csr) {
+  DegreeSummary summary;
+  const VertexId v_count = csr.num_vertices();
+  if (v_count == 0) return summary;
+  std::vector<EdgeIndex> degrees(v_count);
+  for (VertexId v = 0; v < v_count; ++v) degrees[v] = csr.Degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  summary.min_degree = degrees.front();
+  summary.max_degree = degrees.back();
+  summary.mean = csr.AverageDegree();
+  summary.median = degrees[v_count / 2];
+  summary.p99 = degrees[static_cast<std::size_t>(0.99 * (v_count - 1))];
+  return summary;
+}
+
+}  // namespace emogi::graph

@@ -1,0 +1,29 @@
+// Degree-distribution statistics (paper figure 6 and table 2).
+
+#ifndef EMOGI_GRAPH_DEGREE_STATS_H_
+#define EMOGI_GRAPH_DEGREE_STATS_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace emogi::graph {
+
+// For each threshold d, the fraction of edges owned by vertices whose
+// degree is <= d (the paper's "number of edges CDF" per figure 6).
+std::vector<double> EdgeCdfByDegree(const Csr& csr,
+                                    const std::vector<EdgeIndex>& thresholds);
+
+struct DegreeSummary {
+  EdgeIndex min_degree = 0;
+  EdgeIndex max_degree = 0;
+  double mean = 0;
+  EdgeIndex median = 0;
+  EdgeIndex p99 = 0;
+};
+
+DegreeSummary SummarizeDegrees(const Csr& csr);
+
+}  // namespace emogi::graph
+
+#endif  // EMOGI_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,85 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace emogi::graph {
+namespace {
+
+EdgeIndex SampleDegree(const GeneratorSpec& spec, Rng& rng) {
+  double degree = 0;
+  switch (spec.shape) {
+    case DegreeShape::kUniformRange: {
+      const double lo = spec.param_a;
+      const double hi = spec.param_b;
+      degree = lo + static_cast<double>(rng.Below(
+                        static_cast<std::uint64_t>(hi - lo + 1)));
+      break;
+    }
+    case DegreeShape::kPareto:
+      degree = spec.param_a * std::pow(rng.Uniform(), -1.0 / spec.param_b);
+      break;
+    case DegreeShape::kGaussian: {
+      // Box-Muller.
+      const double u1 = rng.Uniform();
+      const double u2 = rng.Uniform();
+      const double n =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647 * u2);
+      degree = spec.param_a + spec.param_b * n;
+      break;
+    }
+    case DegreeShape::kLogNormal: {
+      const double u1 = rng.Uniform();
+      const double u2 = rng.Uniform();
+      const double n =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647 * u2);
+      degree = std::exp(spec.param_a + spec.param_b * n);
+      break;
+    }
+  }
+  const auto lo = static_cast<double>(spec.min_degree);
+  const auto hi = static_cast<double>(
+      std::min<EdgeIndex>(spec.max_degree,
+                          spec.vertices > 1 ? spec.vertices - 1 : 1));
+  return static_cast<EdgeIndex>(std::min(hi, std::max(lo, degree)));
+}
+
+}  // namespace
+
+Csr Generate(const GeneratorSpec& spec) {
+  Rng rng(spec.seed);
+  const VertexId v_count = spec.vertices;
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(v_count) + 1, 0);
+  for (VertexId v = 0; v < v_count; ++v) {
+    offsets[v + 1] = offsets[v] + SampleDegree(spec, rng);
+  }
+
+  std::vector<VertexId> neighbors(offsets.back());
+  for (VertexId v = 0; v < v_count; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    for (EdgeIndex e = begin; e < end; ++e) {
+      neighbors[e] = static_cast<VertexId>(rng.Below(v_count));
+    }
+    std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(begin),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return Csr(std::move(offsets), std::move(neighbors), spec.directed,
+             spec.name);
+}
+
+Csr GenerateUniformRandom(VertexId vertices, double avg_degree,
+                          std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.vertices = vertices;
+  spec.shape = DegreeShape::kUniformRange;
+  spec.param_a = std::max(1.0, avg_degree / 2.0);
+  spec.param_b = std::max(spec.param_a, 1.5 * avg_degree);
+  spec.seed = seed;
+  spec.name = "urand";
+  return Generate(spec);
+}
+
+}  // namespace emogi::graph

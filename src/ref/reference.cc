@@ -1,0 +1,82 @@
+#include "ref/reference.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
+
+namespace emogi::ref {
+
+std::vector<std::uint32_t> BfsLevels(const graph::Csr& csr,
+                                     graph::VertexId source) {
+  std::vector<std::uint32_t> levels(csr.num_vertices(), kUnreachable);
+  std::queue<graph::VertexId> queue;
+  levels[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const graph::VertexId v = queue.front();
+    queue.pop();
+    for (graph::EdgeIndex e = csr.NeighborBegin(v); e < csr.NeighborEnd(v);
+         ++e) {
+      const graph::VertexId w = csr.Neighbor(e);
+      if (levels[w] == kUnreachable) {
+        levels[w] = levels[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return levels;
+}
+
+std::vector<std::uint64_t> SsspDistances(const graph::Csr& csr,
+                                         graph::VertexId source) {
+  std::vector<std::uint64_t> distances(csr.num_vertices(), kInfDistance);
+  using Entry = std::pair<std::uint64_t, graph::VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  distances[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [distance, v] = heap.top();
+    heap.pop();
+    if (distance > distances[v]) continue;
+    for (graph::EdgeIndex e = csr.NeighborBegin(v); e < csr.NeighborEnd(v);
+         ++e) {
+      const graph::VertexId w = csr.Neighbor(e);
+      const std::uint64_t candidate = distance + graph::EdgeWeight(e);
+      if (candidate < distances[w]) {
+        distances[w] = candidate;
+        heap.emplace(candidate, w);
+      }
+    }
+  }
+  return distances;
+}
+
+std::vector<graph::VertexId> CcLabels(const graph::Csr& csr) {
+  const graph::VertexId v_count = csr.num_vertices();
+  std::vector<graph::VertexId> parent(v_count);
+  for (graph::VertexId v = 0; v < v_count; ++v) parent[v] = v;
+
+  auto find = [&parent](graph::VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+
+  for (graph::VertexId v = 0; v < v_count; ++v) {
+    for (graph::EdgeIndex e = csr.NeighborBegin(v); e < csr.NeighborEnd(v);
+         ++e) {
+      const graph::VertexId a = find(v);
+      const graph::VertexId b = find(csr.Neighbor(e));
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+
+  std::vector<graph::VertexId> labels(v_count);
+  for (graph::VertexId v = 0; v < v_count; ++v) labels[v] = find(v);
+  return labels;
+}
+
+}  // namespace emogi::ref

@@ -1,0 +1,73 @@
+#include "sim/coalescer.h"
+
+#include <algorithm>
+
+namespace emogi::sim {
+namespace {
+
+inline Addr AlignDown(Addr a, Addr granularity) {
+  return a - (a % granularity);
+}
+
+inline Addr AlignUp(Addr a, Addr granularity) {
+  return AlignDown(a + granularity - 1, granularity);
+}
+
+}  // namespace
+
+void Coalescer::CoalesceSpan(Addr begin, Addr end,
+                             std::vector<Transaction>* out) {
+  if (begin >= end) return;
+  Addr cursor = AlignDown(begin, kSectorBytes);
+  const Addr limit = AlignUp(end, kSectorBytes);
+  while (cursor < limit) {
+    const Addr line_end = AlignDown(cursor, kCachelineBytes) + kCachelineBytes;
+    const Addr piece_end = std::min(limit, line_end);
+    out->push_back(
+        {cursor, static_cast<std::uint32_t>(piece_end - cursor)});
+    cursor = piece_end;
+  }
+}
+
+void Coalescer::CoalesceLanes(const Addr lanes[kWarpSize], std::uint32_t mask,
+                              std::uint32_t elem_bytes,
+                              std::vector<Transaction>* out) {
+  // Collect touched sector ids. An element can straddle a sector boundary,
+  // so each lane contributes every sector its [addr, addr+elem_bytes) range
+  // overlaps; 32 lanes * at most 5 sectors for 128B elements.
+  Addr sectors[kWarpSize * 5];
+  int count = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!(mask & (1u << lane))) continue;
+    const Addr first = lanes[lane] / kSectorBytes;
+    const Addr last = (lanes[lane] + elem_bytes - 1) / kSectorBytes;
+    for (Addr s = first; s <= last && count < kWarpSize * 5; ++s) {
+      sectors[count++] = s;
+    }
+  }
+  if (count == 0) return;
+  std::sort(sectors, sectors + count);
+  count = static_cast<int>(std::unique(sectors, sectors + count) - sectors);
+
+  constexpr Addr kSectorsPerLine = kCachelineBytes / kSectorBytes;
+  Addr run_start = sectors[0];
+  Addr prev = sectors[0];
+  for (int i = 1; i <= count; ++i) {
+    const bool extends =
+        i < count && sectors[i] == prev + 1 &&
+        sectors[i] / kSectorsPerLine == run_start / kSectorsPerLine;
+    if (extends) {
+      prev = sectors[i];
+      continue;
+    }
+    out->push_back({run_start * kSectorBytes,
+                    static_cast<std::uint32_t>((prev - run_start + 1) *
+                                               kSectorBytes)});
+    if (i < count) {
+      run_start = sectors[i];
+      prev = sectors[i];
+    }
+  }
+}
+
+}  // namespace emogi::sim

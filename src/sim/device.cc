@@ -1,0 +1,28 @@
+#include "sim/device.h"
+
+namespace emogi::sim {
+
+GpuDeviceConfig GpuDeviceConfig::V100() {
+  GpuDeviceConfig config;
+  config.link = PcieLinkConfig::Gen3x16();
+  config.memory_bytes = 16ull << 30;
+  return config;
+}
+
+GpuDeviceConfig GpuDeviceConfig::A100(PcieGeneration generation) {
+  GpuDeviceConfig config;
+  config.link = generation == PcieGeneration::kGen4
+                    ? PcieLinkConfig::Gen4x16()
+                    : PcieLinkConfig::Gen3x16();
+  config.memory_bytes = 40ull << 30;
+  return config;
+}
+
+GpuDeviceConfig GpuDeviceConfig::TitanXp() {
+  GpuDeviceConfig config;
+  config.link = PcieLinkConfig::Gen3x16();
+  config.memory_bytes = 12ull << 30;
+  return config;
+}
+
+}  // namespace emogi::sim

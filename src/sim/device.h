@@ -1,0 +1,46 @@
+// GPU device model: the link, the memory capacity, and the handful of
+// per-device cost constants the simulator charges. `scale_factor` shrinks
+// the device memory in lockstep with the synthetic datasets so the
+// out-of-memory regime of the paper is preserved at bench-friendly sizes.
+
+#ifndef EMOGI_SIM_DEVICE_H_
+#define EMOGI_SIM_DEVICE_H_
+
+#include <cstdint>
+
+#include "sim/pcie.h"
+
+namespace emogi::sim {
+
+enum class PcieGeneration { kGen3, kGen4 };
+
+struct GpuDeviceConfig {
+  PcieLinkConfig link = PcieLinkConfig::Gen3x16();
+  std::uint64_t memory_bytes = 16ull << 30;  // V100 16GB.
+  // Divisor applied to memory_bytes; matches the dataset scale divisor so
+  // graph-size/GPU-memory ratios stay paper-faithful.
+  std::uint64_t scale_factor = 1;
+  // Kernel-side cost of processing one edge (frontier check + atomics).
+  double compute_ns_per_edge = 0.05;
+  // Fixed cost per kernel launch.
+  double kernel_launch_ns = 3000.0;
+  // Host-side cost of servicing one UVM page fault, beyond moving the
+  // page. The single-threaded fault handler is what keeps UVM from
+  // scaling with faster links (paper figure 12).
+  double fault_service_ns = 125.0;
+  // Fraction of device memory available to UVM-managed graph pages (the
+  // rest holds the frontier/output arrays the runtime pins).
+  double uvm_resident_fraction = 0.9;
+
+  std::uint64_t ScaledMemoryBytes() const {
+    return memory_bytes / (scale_factor ? scale_factor : 1);
+  }
+
+  static GpuDeviceConfig V100();
+  static GpuDeviceConfig A100(PcieGeneration generation);
+  static GpuDeviceConfig TitanXp();
+};
+
+}  // namespace emogi::sim
+
+#endif  // EMOGI_SIM_DEVICE_H_

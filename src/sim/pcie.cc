@@ -1,0 +1,50 @@
+#include "sim/pcie.h"
+
+#include <algorithm>
+
+#include "sim/coalescer.h"
+
+namespace emogi::sim {
+
+PcieLinkConfig PcieLinkConfig::Gen3x16() { return PcieLinkConfig{}; }
+
+PcieLinkConfig PcieLinkConfig::Gen4x16() {
+  PcieLinkConfig config;
+  config.raw_gbps = 31.508;  // 16 GT/s * 16 lanes * 128/130.
+  config.tags = 512;         // 10-bit tag extension.
+  return config;
+}
+
+double PcieTimingModel::OverheadRatio(double payload_bytes) const {
+  return config_.tlp_header_bytes / (payload_bytes + config_.tlp_header_bytes);
+}
+
+double PcieTimingModel::WireBandwidth(double payload_bytes) const {
+  return config_.raw_gbps * config_.link_utilization *
+         (1.0 - OverheadRatio(payload_bytes));
+}
+
+double PcieTimingModel::TheoreticalBandwidth(double payload_bytes) const {
+  return static_cast<double>(config_.tags) * payload_bytes /
+         config_.round_trip_ns;
+}
+
+double PcieTimingModel::SteadyStateBandwidth(double payload_bytes) const {
+  return std::min(WireBandwidth(payload_bytes),
+                  TheoreticalBandwidth(payload_bytes));
+}
+
+double PcieTimingModel::PeakBulkBandwidth() const {
+  return WireBandwidth(static_cast<double>(kCachelineBytes));
+}
+
+double PcieTimingModel::RequestWireNs(double payload_bytes) const {
+  return (payload_bytes + config_.tlp_header_bytes) /
+         (config_.raw_gbps * config_.link_utilization);
+}
+
+double PcieTimingModel::RequestLatencyNs() const {
+  return config_.round_trip_ns / static_cast<double>(config_.tags);
+}
+
+}  // namespace emogi::sim

@@ -1,0 +1,75 @@
+// Analytical PCIe transfer model.
+//
+// Two bounds govern a stream of read requests over the link (paper
+// section 3.3):
+//   * the wire bound: every completion carries a TLP header, so the
+//     payload rate is raw * utilization * payload/(payload+header);
+//   * the tag-window bound: a device can keep only `tags` read requests
+//     in flight, so the request rate is capped at tags/RTT regardless of
+//     how small the requests are.
+// Small (32B) requests are tag-window bound (7.63 GiB/s at 1.0us RTT,
+// 4.77 GiB/s at 1.6us); full 128B cacheline requests are wire bound at
+// ~12.3 GB/s on gen3 x16, matching the measured cudaMemcpy peak.
+
+#ifndef EMOGI_SIM_PCIE_H_
+#define EMOGI_SIM_PCIE_H_
+
+#include <cstdint>
+
+namespace emogi::sim {
+
+// Pages are the granularity of UVM migration and the alignment at which
+// the runtime places large host allocations.
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+struct PcieLinkConfig {
+  // Raw link rate in GB/s (gen3 x16: 8 GT/s * 16 lanes * 128/130).
+  double raw_gbps = 15.754;
+  // Fraction of the raw rate left after DLLP/flow-control traffic.
+  double link_utilization = 0.89;
+  // Completion TLP header+framing bytes amortized per request.
+  double tlp_header_bytes = 18.0;
+  // Read requests the endpoint can keep outstanding (8-bit tags on gen3;
+  // gen4 parts enable the 10-bit tag extension).
+  int tags = 256;
+  // Host round-trip time for one request, in ns (measured 1.0-1.6us).
+  double round_trip_ns = 1600.0;
+
+  static PcieLinkConfig Gen3x16();
+  static PcieLinkConfig Gen4x16();
+};
+
+class PcieTimingModel {
+ public:
+  explicit PcieTimingModel(const PcieLinkConfig& config) : config_(config) {}
+
+  const PcieLinkConfig& config() const { return config_; }
+
+  // Fraction of wire bytes spent on TLP headers at this payload size.
+  double OverheadRatio(double payload_bytes) const;
+
+  // Payload GB/s the wire sustains at this request size (header-adjusted).
+  double WireBandwidth(double payload_bytes) const;
+
+  // Payload GB/s the tag window allows: tags * payload / RTT.
+  double TheoreticalBandwidth(double payload_bytes) const;
+
+  // min(wire bound, tag-window bound) at this request size.
+  double SteadyStateBandwidth(double payload_bytes) const;
+
+  // Bulk-copy (cudaMemcpy) peak: full cacheline payloads on the wire.
+  double PeakBulkBandwidth() const;
+
+  // Wire occupancy of one request of `payload_bytes`, in ns.
+  double RequestWireNs(double payload_bytes) const;
+
+  // Average tag-window cost of one request, in ns (RTT / tags).
+  double RequestLatencyNs() const;
+
+ private:
+  PcieLinkConfig config_;
+};
+
+}  // namespace emogi::sim
+
+#endif  // EMOGI_SIM_PCIE_H_

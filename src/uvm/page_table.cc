@@ -1,0 +1,41 @@
+#include "uvm/page_table.h"
+
+#include <algorithm>
+
+namespace emogi::uvm {
+
+PageTable::PageTable(std::uint64_t num_pages, std::uint64_t resident_capacity)
+    : num_pages_(num_pages),
+      capacity_(std::max<std::uint64_t>(1, resident_capacity)),
+      resident_(num_pages, 0) {
+  fifo_.reserve(static_cast<std::size_t>(std::min(num_pages_, capacity_)));
+}
+
+bool PageTable::Touch(std::uint64_t page) {
+  if (resident_[page]) {
+    ++hits_;
+    return false;
+  }
+  ++faults_;
+  if (fifo_.size() < capacity_) {
+    fifo_.push_back(page);
+  } else {
+    resident_[fifo_[fifo_head_]] = 0;
+    ++evictions_;
+    fifo_[fifo_head_] = page;
+    fifo_head_ = (fifo_head_ + 1) % fifo_.size();
+  }
+  resident_[page] = 1;
+  return true;
+}
+
+void PageTable::Reset() {
+  std::fill(resident_.begin(), resident_.end(), 0);
+  fifo_.clear();
+  fifo_head_ = 0;
+  faults_ = 0;
+  hits_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace emogi::uvm

@@ -1,0 +1,46 @@
+// UVM residency model: a page table over the managed allocation with a
+// bounded resident set and FIFO replacement. The UVM baseline's defining
+// costs -- page-granular migration and the serial fault handler -- are
+// charged by the accountant; this class only answers "was that page
+// resident?".
+
+#ifndef EMOGI_UVM_PAGE_TABLE_H_
+#define EMOGI_UVM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace emogi::uvm {
+
+class PageTable {
+ public:
+  // `num_pages` pages of managed memory, of which at most
+  // `resident_capacity` fit on the device at once.
+  PageTable(std::uint64_t num_pages, std::uint64_t resident_capacity);
+
+  // Accesses `page`; migrates it on a miss (evicting the oldest resident
+  // page when full). Returns true iff the access faulted.
+  bool Touch(std::uint64_t page);
+
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t resident_pages() const { return fifo_.size(); }
+
+  // Drops all residency and counters (fresh kernel sequence).
+  void Reset();
+
+ private:
+  std::uint64_t num_pages_;
+  std::uint64_t capacity_;
+  std::vector<std::uint8_t> resident_;
+  std::vector<std::uint64_t> fifo_;  // Ring buffer of resident pages.
+  std::size_t fifo_head_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace emogi::uvm
+
+#endif  // EMOGI_UVM_PAGE_TABLE_H_

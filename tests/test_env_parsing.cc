@@ -1,0 +1,58 @@
+// BenchOptions::FromEnv must take clean positive integers and reject
+// garbage loudly (keeping the defaults) instead of silently clamping.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+void SetEnv(const char* name, const char* value) {
+  if (value == nullptr) {
+    ::unsetenv(name);
+  } else {
+    ::setenv(name, value, 1);
+  }
+}
+
+void TestDefaults() {
+  SetEnv("EMOGI_SCALE", nullptr);
+  SetEnv("EMOGI_SOURCES", nullptr);
+  const bench::BenchOptions options = bench::BenchOptions::FromEnv();
+  CHECK(options.scale == 512);
+  CHECK(options.sources == 4);
+}
+
+void TestValidValues() {
+  SetEnv("EMOGI_SCALE", "4096");
+  SetEnv("EMOGI_SOURCES", "16");
+  const bench::BenchOptions options = bench::BenchOptions::FromEnv();
+  CHECK(options.scale == 4096);
+  CHECK(options.sources == 16);
+}
+
+void TestGarbageKeepsDefaults() {
+  const char* bad[] = {"abc", "", "12abc", "-4", " -4", " 4", "+4", "0",
+                       "4.5", "99999999999999999999999"};
+  for (const char* value : bad) {
+    SetEnv("EMOGI_SCALE", value);
+    SetEnv("EMOGI_SOURCES", value);
+    const bench::BenchOptions options = bench::BenchOptions::FromEnv();
+    CHECK(options.scale == 512);
+    CHECK(options.sources == 4);
+  }
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  emogi::TestDefaults();
+  emogi::TestValidValues();
+  emogi::TestGarbageKeepsDefaults();
+  std::printf("test_env_parsing: OK\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// PCIe timing model checks: the paper's section-3.3 arithmetic, and the
+// monotonicity properties the traversal conclusions depend on (more
+// coalescing => fewer requests and more bandwidth; longer RTT hurts
+// small requests most).
+
+#include <cstdio>
+
+#include "core/accountant.h"
+#include "core/config.h"
+#include "graph/generators.h"
+#include "sim/pcie.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+void TestPaperArithmetic() {
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  sim::PcieLinkConfig link = sim::PcieLinkConfig::Gen3x16();
+  link.round_trip_ns = 1000.0;
+  const sim::PcieTimingModel at_1us(link);
+  // 256 tags * 32B / 1.0us = 7.63 GiB/s (paper section 3.3).
+  CHECK_NEAR(at_1us.TheoreticalBandwidth(32) * 1e9 / kGiB, 7.63, 0.02);
+
+  link.round_trip_ns = 1600.0;
+  const sim::PcieTimingModel at_1600ns(link);
+  CHECK_NEAR(at_1600ns.TheoreticalBandwidth(32) * 1e9 / kGiB, 4.77, 0.02);
+
+  const sim::PcieTimingModel gen3(sim::PcieLinkConfig::Gen3x16());
+  CHECK(gen3.OverheadRatio(32) >= 0.36);
+  CHECK_NEAR(gen3.OverheadRatio(128), 0.123, 0.01);
+  CHECK_NEAR(gen3.PeakBulkBandwidth(), 12.3, 0.2);
+
+  const sim::PcieTimingModel gen4(sim::PcieLinkConfig::Gen4x16());
+  CHECK_NEAR(gen4.PeakBulkBandwidth(), 24.6, 0.4);
+  CHECK(gen4.PeakBulkBandwidth() > 1.9 * gen3.PeakBulkBandwidth());
+}
+
+void TestMonotonicity() {
+  const sim::PcieTimingModel model(sim::PcieLinkConfig::Gen3x16());
+  // Larger requests always help, on both bounds.
+  for (int bytes = 32; bytes < 128; bytes += 32) {
+    CHECK(model.SteadyStateBandwidth(bytes + 32) >
+          model.SteadyStateBandwidth(bytes));
+    CHECK(model.OverheadRatio(bytes + 32) < model.OverheadRatio(bytes));
+  }
+  // Longer RTT only lowers the tag-window bound.
+  sim::PcieLinkConfig slow = sim::PcieLinkConfig::Gen3x16();
+  slow.round_trip_ns *= 2;
+  const sim::PcieTimingModel slow_model(slow);
+  CHECK(slow_model.TheoreticalBandwidth(32) <
+        model.TheoreticalBandwidth(32));
+  CHECK_NEAR(slow_model.WireBandwidth(128), model.WireBandwidth(128), 1e-9);
+}
+
+// More coalescing => fewer PCIe transactions, across the three zero-copy
+// modes, measured end to end through the accountant on a real list mix.
+void TestCoalescingReducesRequests() {
+  const graph::Csr csr = graph::GenerateUniformRandom(1 << 10, 48, 7);
+
+  auto total_requests = [&csr](core::EmogiConfig config) {
+    core::ZeroCopyAccountant accountant(config);
+    for (graph::VertexId v = 0; v < csr.num_vertices(); ++v) {
+      accountant.OnListScan(sim::kPageBytes, csr.NeighborBegin(v),
+                            csr.NeighborEnd(v), csr.edge_elem_bytes());
+    }
+    accountant.CloseKernel(csr.num_edges());
+    return accountant.stats().requests.TotalRequests();
+  };
+
+  const std::uint64_t naive = total_requests(core::EmogiConfig::Naive());
+  const std::uint64_t merged = total_requests(core::EmogiConfig::Merged());
+  const std::uint64_t aligned =
+      total_requests(core::EmogiConfig::MergedAligned());
+  CHECK(naive > merged);
+  CHECK(merged > aligned);
+
+  // And narrower workers can only increase the request count.
+  core::EmogiConfig narrow = core::EmogiConfig::MergedAligned();
+  narrow.worker_lanes = 8;
+  CHECK(total_requests(narrow) >= aligned);
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  emogi::TestPaperArithmetic();
+  emogi::TestMonotonicity();
+  emogi::TestCoalescingReducesRequests();
+  std::printf("test_pcie_model: OK\n");
+  return 0;
+}

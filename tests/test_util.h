@@ -1,0 +1,36 @@
+// Minimal assertion helper for the assert-style unit tests (no external
+// test framework in the image). CHECK prints the failing expression and
+// exits nonzero so ctest reports the failure.
+
+#ifndef EMOGI_TESTS_TEST_UTIL_H_
+#define EMOGI_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(condition)                                               \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                              \
+      std::exit(1);                                                    \
+    }                                                                  \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tolerance)                                    \
+  do {                                                                 \
+    const double check_near_a = (a);                                   \
+    const double check_near_b = (b);                                   \
+    const double check_near_diff = check_near_a > check_near_b         \
+                                       ? check_near_a - check_near_b   \
+                                       : check_near_b - check_near_a;  \
+    if (check_near_diff > (tolerance)) {                               \
+      std::fprintf(stderr,                                             \
+                   "CHECK_NEAR failed at %s:%d: %s=%f vs %s=%f\n",     \
+                   __FILE__, __LINE__, #a, check_near_a, #b,           \
+                   check_near_b);                                      \
+      std::exit(1);                                                    \
+    }                                                                  \
+  } while (0)
+
+#endif  // EMOGI_TESTS_TEST_UTIL_H_
