@@ -32,7 +32,7 @@ void Run() {
       config.device.link.round_trip_ns = rtt_us * 1000.0;
       core::Traversal traversal(csr, config);
       const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources));
+          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
       cells.push_back(FormatDouble(agg.mean_bandwidth_gbps));
     }
     PrintRow(FormatDouble(rtt_us, 1), cells, 12, 16);

@@ -28,7 +28,7 @@ void Run() {
       config.worker_lanes = lanes;
       core::Traversal traversal(csr, config);
       const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources));
+          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
       PrintRow(symbol + "/" + std::to_string(lanes),
                {FormatTimeMs(agg.mean_time_ns),
                 FormatCount(static_cast<std::uint64_t>(agg.mean_requests)),

@@ -39,7 +39,7 @@ void Run() {
     for (const Impl& impl : impls) {
       core::Traversal traversal(csr, impl.config);
       const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources));
+          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
       PrintRow(std::string(symbol) + " " + impl.name,
                {FormatDouble(100 * agg.requests.Fraction(32), 1),
                 FormatDouble(100 * agg.requests.Fraction(64), 1),

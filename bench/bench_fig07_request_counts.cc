@@ -39,7 +39,7 @@ void Run() {
     for (const Impl& impl : impls) {
       core::Traversal traversal(csr, impl.config);
       const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources));
+          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
       requests.push_back(agg.mean_requests);
     }
     PrintRow(symbol,

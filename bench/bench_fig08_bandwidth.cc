@@ -45,7 +45,7 @@ void Run() {
     for (const Impl& impl : impls) {
       core::Traversal traversal(csr, impl.config);
       const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources));
+          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
       cells.push_back(FormatDouble(agg.mean_bandwidth_gbps));
     }
     PrintRow(symbol, cells);

@@ -42,7 +42,7 @@ void Run() {
     std::vector<double> mean_ns;
     for (const Impl& impl : impls) {
       core::Traversal traversal(csr, impl.config);
-      mean_ns.push_back(MeanTimeNs(traversal.BfsSweep(sources)));
+      mean_ns.push_back(MeanTimeNs(traversal.BfsSweep(sources, options.threads)));
     }
     std::vector<std::string> cells;
     for (std::size_t i = 0; i < impls.size(); ++i) {

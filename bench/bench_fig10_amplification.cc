@@ -33,9 +33,9 @@ void Run() {
     core::Traversal uvm_traversal(csr, uvm);
     core::Traversal emogi_traversal(csr, emogi);
     const auto uvm_agg =
-        core::AggregateStats::Summarize(uvm_traversal.BfsSweep(sources));
+        core::AggregateStats::Summarize(uvm_traversal.BfsSweep(sources, options.threads));
     const auto emogi_agg =
-        core::AggregateStats::Summarize(emogi_traversal.BfsSweep(sources));
+        core::AggregateStats::Summarize(emogi_traversal.BfsSweep(sources, options.threads));
     PrintRow(symbol, {FormatDouble(uvm_agg.mean_amplification),
                       FormatDouble(emogi_agg.mean_amplification)});
   }

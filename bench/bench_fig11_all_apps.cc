@@ -37,11 +37,11 @@ void Run() {
       core::Traversal emogi_traversal(csr, emogi);
       const bool sssp = std::string(app) == "SSSP";
       const double uvm_ns =
-          MeanTimeNs(sssp ? uvm_traversal.SsspSweep(sources)
-                          : uvm_traversal.BfsSweep(sources));
+          MeanTimeNs(sssp ? uvm_traversal.SsspSweep(sources, options.threads)
+                          : uvm_traversal.BfsSweep(sources, options.threads));
       const double emogi_ns =
-          MeanTimeNs(sssp ? emogi_traversal.SsspSweep(sources)
-                          : emogi_traversal.BfsSweep(sources));
+          MeanTimeNs(sssp ? emogi_traversal.SsspSweep(sources, options.threads)
+                          : emogi_traversal.BfsSweep(sources, options.threads));
       const double speedup = uvm_ns / emogi_ns;
       sum += speedup;
       ++count;

@@ -23,10 +23,10 @@ struct Workload {
 
 double RunOne(const graph::Csr& csr, const core::EmogiConfig& config,
               const std::vector<graph::VertexId>& sources,
-              const std::string& app) {
+              const std::string& app, int threads) {
   core::Traversal traversal(csr, config);
-  if (app == "SSSP") return MeanTimeNs(traversal.SsspSweep(sources));
-  if (app == "BFS") return MeanTimeNs(traversal.BfsSweep(sources));
+  if (app == "SSSP") return MeanTimeNs(traversal.SsspSweep(sources, threads));
+  if (app == "BFS") return MeanTimeNs(traversal.BfsSweep(sources, threads));
   return traversal.Cc().stats.total_time_ns;
 }
 
@@ -64,7 +64,7 @@ void Run() {
     const auto sources = Sources(csr, options);
     std::vector<double> times;
     for (const auto& config : configs) {
-      times.push_back(RunOne(csr, config, sources, w.app));
+      times.push_back(RunOne(csr, config, sources, w.app, options.threads));
     }
     std::vector<std::string> cells;
     for (int i = 0; i < 4; ++i) {

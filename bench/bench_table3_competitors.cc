@@ -20,13 +20,6 @@
 namespace emogi::bench {
 namespace {
 
-double MeanOver(const std::vector<graph::VertexId>& sources,
-                const std::function<double(graph::VertexId)>& run) {
-  double total = 0;
-  for (const auto s : sources) total += run(s);
-  return total / static_cast<double>(sources.size());
-}
-
 void Run() {
   const BenchOptions options = BenchOptions::FromEnv();
   PrintHeader("Table 3",
@@ -48,10 +41,12 @@ void Run() {
     baselines::Halo halo(csr, halo_config);
     core::Traversal emogi(csr, emogi_xp);
 
-    const double halo_ns = MeanOver(
-        sources, [&](graph::VertexId s) { return halo.Bfs(s).stats.total_time_ns; });
-    const double emogi_ns = MeanOver(
-        sources, [&](graph::VertexId s) { return emogi.Bfs(s).stats.total_time_ns; });
+    const double halo_ns = MeanTimeOverSourcesNs(
+        sources, options.threads,
+        [&](graph::VertexId s) { return halo.Bfs(s).stats.total_time_ns; });
+    const double emogi_ns = MeanTimeOverSourcesNs(
+        sources, options.threads,
+        [&](graph::VertexId s) { return emogi.Bfs(s).stats.total_time_ns; });
     PrintRow("HALO BFS " + symbol,
              {FormatTimeMs(halo_ns), FormatTimeMs(emogi_ns),
               FormatDouble(halo_ns / emogi_ns) + "x"},
@@ -85,15 +80,17 @@ void Run() {
     double subway_ns = 0;
     double emogi_ns = 0;
     if (app == "SSSP") {
-      subway_ns = MeanOver(sources, [&](graph::VertexId s) {
-        return subway.Sssp(s).stats.total_time_ns;
-      });
-      emogi_ns = MeanTimeNs(emogi.SsspSweep(sources));
+      subway_ns = MeanTimeOverSourcesNs(sources, options.threads,
+                                        [&](graph::VertexId s) {
+                                          return subway.Sssp(s).stats.total_time_ns;
+                                        });
+      emogi_ns = MeanTimeNs(emogi.SsspSweep(sources, options.threads));
     } else if (app == "BFS") {
-      subway_ns = MeanOver(sources, [&](graph::VertexId s) {
-        return subway.Bfs(s).stats.total_time_ns;
-      });
-      emogi_ns = MeanTimeNs(emogi.BfsSweep(sources));
+      subway_ns = MeanTimeOverSourcesNs(sources, options.threads,
+                                        [&](graph::VertexId s) {
+                                          return subway.Bfs(s).stats.total_time_ns;
+                                        });
+      emogi_ns = MeanTimeNs(emogi.BfsSweep(sources, options.threads));
     } else {
       subway_ns = subway.Cc().stats.total_time_ns;
       emogi_ns = emogi.Cc().stats.total_time_ns;

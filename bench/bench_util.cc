@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "runtime/sweep_runner.h"
+
 namespace emogi::bench {
 namespace {
 
@@ -44,6 +46,12 @@ BenchOptions BenchOptions::FromEnv() {
   if (const char* sources = std::getenv("EMOGI_SOURCES")) {
     if (ParsePositiveEnv("EMOGI_SOURCES", sources, 0x7fffffffull, &value)) {
       options.sources = static_cast<int>(value);
+    }
+  }
+  options.threads = runtime::ResolveThreadCount(0);
+  if (const char* threads = std::getenv("EMOGI_THREADS")) {
+    if (ParsePositiveEnv("EMOGI_THREADS", threads, 1024, &value)) {
+      options.threads = static_cast<int>(value);
     }
   }
   return options;
@@ -100,6 +108,20 @@ double MeanTimeNs(const std::vector<core::TraversalStats>& runs) {
   double total = 0;
   for (const auto& r : runs) total += r.total_time_ns;
   return total / static_cast<double>(runs.size());
+}
+
+double MeanTimeOverSourcesNs(
+    const std::vector<graph::VertexId>& sources, int threads,
+    const std::function<double(graph::VertexId)>& run_one) {
+  if (sources.empty()) return 0;
+  runtime::SweepRunner runner(threads);
+  const std::vector<double> times =
+      runner.Run(sources.size(), [&](std::size_t i) {
+        return run_one(sources[i]);
+      });
+  double total = 0;
+  for (const double t : times) total += t;
+  return total / static_cast<double>(times.size());
 }
 
 }  // namespace emogi::bench

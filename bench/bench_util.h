@@ -4,6 +4,7 @@
 #define EMOGI_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,13 @@ namespace emogi::bench {
 //                  calibrated value; larger = faster, smaller graphs).
 //   EMOGI_SOURCES  BFS/SSSP sources averaged per measurement (default 4;
 //                  the paper uses 64).
+//   EMOGI_THREADS  sweep workers fanning the per-source runs (default:
+//                  hardware_concurrency, clamped >= 1). Results are
+//                  deterministic at any thread count.
 struct BenchOptions {
   std::uint64_t scale = 512;
   int sources = 4;
+  int threads = 1;
 
   static BenchOptions FromEnv();
 };
@@ -51,6 +56,13 @@ std::string FormatTimeMs(double ns);
 
 // Mean over per-run simulated times, in ns.
 double MeanTimeNs(const std::vector<core::TraversalStats>& runs);
+
+// Mean simulated time of `run_one` over the sources, fanned across
+// `threads` sweep workers with deterministic (source-order) accumulation.
+// `run_one` must be safe to call concurrently.
+double MeanTimeOverSourcesNs(
+    const std::vector<graph::VertexId>& sources, int threads,
+    const std::function<double(graph::VertexId)>& run_one);
 
 }  // namespace emogi::bench
 

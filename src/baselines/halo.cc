@@ -15,7 +15,7 @@ Halo::Halo(const graph::Csr& csr, const core::EmogiConfig& config)
   config_.mode = core::AccessMode::kUvm;
 }
 
-core::BfsRun Halo::Bfs(graph::VertexId source) {
+core::BfsRun Halo::Bfs(graph::VertexId source) const {
   core::Traversal traversal(csr_, config_);
   core::BfsRun run = traversal.Bfs(source);
   run.stats.total_time_ns *= kReorderingDiscount;

@@ -19,7 +19,7 @@ class Halo {
   // its access mode is ignored -- HALO always pages through UVM.
   Halo(const graph::Csr& csr, const core::EmogiConfig& config);
 
-  core::BfsRun Bfs(graph::VertexId source);
+  core::BfsRun Bfs(graph::VertexId source) const;
 
  private:
   const graph::Csr& csr_;

@@ -50,7 +50,7 @@ void Subway::ChargeIteration(std::uint64_t active_edges,
   ++stats->kernels;
 }
 
-core::BfsRun Subway::Bfs(graph::VertexId source) {
+core::BfsRun Subway::Bfs(graph::VertexId source) const {
   core::BfsRun run;
   run.levels = ref::BfsLevels(csr_, source);
   for (const std::uint64_t active_edges :
@@ -61,7 +61,7 @@ core::BfsRun Subway::Bfs(graph::VertexId source) {
   return run;
 }
 
-core::SsspRun Subway::Sssp(graph::VertexId source) {
+core::SsspRun Subway::Sssp(graph::VertexId source) const {
   core::SsspRun run;
   run.distances = ref::SsspDistances(csr_, source);
   // Iteration wavefronts tracked via BFS hops; vertices whose distance
@@ -81,7 +81,7 @@ core::SsspRun Subway::Sssp(graph::VertexId source) {
   return run;
 }
 
-core::CcRun Subway::Cc() {
+core::CcRun Subway::Cc() const {
   core::CcRun run;
   run.labels = ref::CcLabels(csr_);
   // Label propagation streams the full (still-active) edge list each

@@ -27,9 +27,9 @@ class Subway {
  public:
   Subway(const graph::Csr& csr, const SubwayConfig& config);
 
-  core::BfsRun Bfs(graph::VertexId source);
-  core::SsspRun Sssp(graph::VertexId source);
-  core::CcRun Cc();
+  core::BfsRun Bfs(graph::VertexId source) const;
+  core::SsspRun Sssp(graph::VertexId source) const;
+  core::CcRun Cc() const;
 
  private:
   // Charges one iteration that activates `active_edges` edges.

@@ -4,6 +4,29 @@
 
 namespace emogi::core {
 
+std::uint64_t WeightBase(const graph::Csr& csr) {
+  const std::uint64_t edge_bytes = csr.EdgeListBytes();
+  return (edge_bytes + sim::kPageBytes - 1) / sim::kPageBytes *
+         sim::kPageBytes;
+}
+
+std::uint64_t ManagedGraphBytes(const graph::Csr& csr) {
+  return WeightBase(csr) + csr.num_edges() * kWeightBytes;
+}
+
+std::unique_ptr<Accountant> MakeAccountant(const graph::Csr& csr,
+                                           const EmogiConfig& config) {
+  return MakeAccountant(config, ManagedGraphBytes(csr));
+}
+
+std::unique_ptr<Accountant> MakeAccountant(const EmogiConfig& config,
+                                           std::uint64_t managed_bytes) {
+  if (config.mode == AccessMode::kUvm) {
+    return std::make_unique<UvmAccountant>(config, managed_bytes);
+  }
+  return std::make_unique<ZeroCopyAccountant>(config);
+}
+
 ZeroCopyAccountant::ZeroCopyAccountant(const EmogiConfig& config)
     : config_(config), pcie_(config.device.link) {}
 

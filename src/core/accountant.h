@@ -1,6 +1,13 @@
 // Traffic accountants: turn neighbor-list scans into PCIe requests and
 // kernel times under a given access mode.
 //
+// `Accountant` is the public seam between the algorithm layer (the
+// frontier engine in core/engine.h, the toy kernels) and the hardware
+// model: callers describe *what* is read (list scans, kernel
+// boundaries), an accountant decides *what it costs* under its access
+// model. A CUDA backend would implement the same interface with real
+// measurements instead of the analytical model.
+//
 // ZeroCopyAccountant models the paper's pinned-host-memory kernels. A
 // worker of `worker_lanes` threads scans a list in windows of
 // lanes*elem_bytes bytes; each window is one warp memory instruction,
@@ -17,10 +24,12 @@
 #define EMOGI_CORE_ACCOUNTANT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/config.h"
 #include "core/stats.h"
+#include "graph/csr.h"
 #include "sim/pcie.h"
 #include "uvm/page_table.h"
 
@@ -34,21 +43,60 @@ struct KernelCost {
   double fault_ns = 0;
 };
 
-class ZeroCopyAccountant {
+class Accountant {
  public:
-  explicit ZeroCopyAccountant(const EmogiConfig& config);
+  virtual ~Accountant() = default;
 
   // One worker scans elements [elem_begin, elem_end) of an array whose
   // element 0 starts at byte address `base_addr` in host memory.
-  void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
-                  std::uint64_t elem_end, std::uint32_t elem_bytes);
+  virtual void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
+                          std::uint64_t elem_end,
+                          std::uint32_t elem_bytes) = 0;
 
   // Ends the current kernel, charging `work_edges` of compute, and folds
   // the kernel into the running stats. Returns this kernel's cost.
-  KernelCost CloseKernel(std::uint64_t work_edges);
+  virtual KernelCost CloseKernel(std::uint64_t work_edges) = 0;
 
-  const TraversalStats& stats() const { return stats_; }
-  TraversalStats* mutable_stats() { return &stats_; }
+  virtual const TraversalStats& stats() const = 0;
+  virtual TraversalStats* mutable_stats() = 0;
+};
+
+// --- Host-memory layout of the managed/pinned graph arrays ------------------
+// The edge list sits at offset 0; SSSP's 4-byte weight array starts on
+// the next page boundary. Every accountant construction path shares this
+// layout so traversal, the toy kernels, and future hardware backends
+// agree on what a byte address means.
+
+inline constexpr std::uint32_t kWeightBytes = 4;
+
+// Byte address of the weight array: the edge list rounded up to a page.
+std::uint64_t WeightBase(const graph::Csr& csr);
+
+// Total bytes of the managed/pinned allocation for `csr` (edge list plus
+// the weight array; sized for SSSP so one layout serves all three apps).
+std::uint64_t ManagedGraphBytes(const graph::Csr& csr);
+
+// Accountant for a graph laid out as above. Picks the implementation
+// from `config.mode`.
+std::unique_ptr<Accountant> MakeAccountant(const graph::Csr& csr,
+                                           const EmogiConfig& config);
+
+// Lower-level factory for callers without a graph (e.g. the toy 1D-array
+// kernels): the scanned allocation spans [0, managed_bytes).
+std::unique_ptr<Accountant> MakeAccountant(const EmogiConfig& config,
+                                           std::uint64_t managed_bytes);
+
+class ZeroCopyAccountant final : public Accountant {
+ public:
+  explicit ZeroCopyAccountant(const EmogiConfig& config);
+
+  void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
+                  std::uint64_t elem_end, std::uint32_t elem_bytes) override;
+
+  KernelCost CloseKernel(std::uint64_t work_edges) override;
+
+  const TraversalStats& stats() const override { return stats_; }
+  TraversalStats* mutable_stats() override { return &stats_; }
 
  private:
   void AddSpanRequests(sim::Addr begin, sim::Addr end);
@@ -63,19 +111,19 @@ class ZeroCopyAccountant {
   std::uint64_t kernel_bytes_ = 0;
 };
 
-class UvmAccountant {
+class UvmAccountant final : public Accountant {
  public:
   // `managed_bytes` is the size of the managed allocation the scans
   // address (edge list, plus weights for SSSP).
   UvmAccountant(const EmogiConfig& config, std::uint64_t managed_bytes);
 
   void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
-                  std::uint64_t elem_end, std::uint32_t elem_bytes);
+                  std::uint64_t elem_end, std::uint32_t elem_bytes) override;
 
-  KernelCost CloseKernel(std::uint64_t work_edges);
+  KernelCost CloseKernel(std::uint64_t work_edges) override;
 
-  const TraversalStats& stats() const { return stats_; }
-  TraversalStats* mutable_stats() { return &stats_; }
+  const TraversalStats& stats() const override { return stats_; }
+  TraversalStats* mutable_stats() override { return &stats_; }
 
  private:
   EmogiConfig config_;

@@ -1,7 +1,8 @@
 #include "core/toy.h"
 
-#include <algorithm>
+#include <memory>
 
+#include "core/accountant.h"
 #include "sim/pcie.h"
 
 namespace emogi::core {
@@ -25,6 +26,22 @@ double DramFactor(ToyPattern pattern) {
   return 1.0;
 }
 
+// The toy kernel is one scan of the whole array under the access mode
+// each pattern stands for. The misaligned pattern starts the array one
+// sector past a cacheline boundary, so every warp window splits across
+// three lines.
+AccessMode ModeFor(ToyPattern pattern) {
+  switch (pattern) {
+    case ToyPattern::kStrided:
+      return AccessMode::kNaive;
+    case ToyPattern::kMergedAligned:
+      return AccessMode::kMergedAligned;
+    case ToyPattern::kMergedMisaligned:
+      return AccessMode::kMerged;
+  }
+  return AccessMode::kMerged;
+}
+
 }  // namespace
 
 const char* ToString(ToyPattern pattern) {
@@ -41,53 +58,24 @@ const char* ToString(ToyPattern pattern) {
 
 ToyResult RunToyCopy(ToyPattern pattern, std::uint64_t array_bytes,
                      const EmogiConfig& config) {
-  ToyResult result;
-  const sim::PcieTimingModel pcie(config.device.link);
+  EmogiConfig pattern_config = config;
+  pattern_config.mode = ModeFor(pattern);
+
+  const std::unique_ptr<Accountant> accountant =
+      MakeAccountant(pattern_config, array_bytes + sim::kSectorBytes);
+  const sim::Addr base =
+      pattern == ToyPattern::kMergedMisaligned ? sim::kSectorBytes : 0;
   const std::uint64_t elems = array_bytes / kElemBytes;
-  const std::uint64_t window_bytes =
-      static_cast<std::uint64_t>(std::max(1, config.worker_lanes)) *
-      kElemBytes;
-  const std::uint64_t windows = std::max<std::uint64_t>(
-      1, array_bytes / std::max<std::uint64_t>(1, window_bytes));
+  accountant->OnListScan(base, 0, elems, kElemBytes);
+  const KernelCost cost = accountant->CloseKernel(elems);
 
-  double wire_ns = 0;
-  std::uint64_t request_count = 0;
-  std::uint64_t wire_bytes = 0;
-  auto add = [&](std::uint32_t bytes, std::uint64_t count) {
-    result.requests.Add(bytes, count);
-    request_count += count;
-    wire_bytes += bytes * count;
-    wire_ns += static_cast<double>(count) * pcie.RequestWireNs(bytes);
-  };
-
-  switch (pattern) {
-    case ToyPattern::kStrided:
-      // Every 8B element load is its own scattered 32B sector request.
-      add(32, elems);
-      break;
-    case ToyPattern::kMergedAligned:
-      // Cacheline-aligned windows coalesce into full 128B requests.
-      add(128, array_bytes / sim::kCachelineBytes);
-      break;
-    case ToyPattern::kMergedMisaligned:
-      // The base pointer sits one sector past a cacheline boundary, so
-      // every 256B window splits 96B + 128B + 32B across three lines.
-      add(96, windows);
-      add(128, windows);
-      add(32, windows);
-      break;
-  }
-
-  const double latency_ns =
-      static_cast<double>(request_count) * pcie.RequestLatencyNs();
-  const double compute_ns =
-      static_cast<double>(elems) * config.device.compute_ns_per_edge;
-  result.time_ns = std::max({wire_ns, latency_ns, compute_ns}) +
-                   config.device.kernel_launch_ns;
+  ToyResult result;
+  result.requests = accountant->stats().requests;
+  result.time_ns = cost.total_ns;
   result.pcie_bandwidth_gbps =
-      static_cast<double>(wire_bytes) / result.time_ns;
-  result.dram_bandwidth_gbps = result.pcie_bandwidth_gbps *
-                               DramFactor(pattern);
+      static_cast<double>(accountant->stats().bytes_moved) / result.time_ns;
+  result.dram_bandwidth_gbps =
+      result.pcie_bandwidth_gbps * DramFactor(pattern);
   return result;
 }
 

@@ -1,230 +1,50 @@
 #include "core/traversal.h"
 
-#include <algorithm>
-#include <memory>
+#include <utility>
 
-#include "core/accountant.h"
+#include "runtime/sweep_runner.h"
 
 namespace emogi::core {
-namespace {
-
-// Uniform view over the two accountants so the traversal loops are
-// written once. Virtual dispatch is per neighbor list, not per edge.
-class TrafficModel {
- public:
-  virtual ~TrafficModel() = default;
-  virtual void OnListScan(sim::Addr base, std::uint64_t begin,
-                          std::uint64_t end, std::uint32_t elem_bytes) = 0;
-  virtual KernelCost CloseKernel(std::uint64_t work_edges) = 0;
-  virtual TraversalStats* mutable_stats() = 0;
-};
-
-class ZeroCopyModel : public TrafficModel {
- public:
-  explicit ZeroCopyModel(const EmogiConfig& config) : accountant_(config) {}
-  void OnListScan(sim::Addr base, std::uint64_t begin, std::uint64_t end,
-                  std::uint32_t elem_bytes) override {
-    accountant_.OnListScan(base, begin, end, elem_bytes);
-  }
-  KernelCost CloseKernel(std::uint64_t work_edges) override {
-    return accountant_.CloseKernel(work_edges);
-  }
-  TraversalStats* mutable_stats() override {
-    return accountant_.mutable_stats();
-  }
-
- private:
-  ZeroCopyAccountant accountant_;
-};
-
-class UvmModel : public TrafficModel {
- public:
-  UvmModel(const EmogiConfig& config, std::uint64_t managed_bytes)
-      : accountant_(config, managed_bytes) {}
-  void OnListScan(sim::Addr base, std::uint64_t begin, std::uint64_t end,
-                  std::uint32_t elem_bytes) override {
-    accountant_.OnListScan(base, begin, end, elem_bytes);
-  }
-  KernelCost CloseKernel(std::uint64_t work_edges) override {
-    return accountant_.CloseKernel(work_edges);
-  }
-  TraversalStats* mutable_stats() override {
-    return accountant_.mutable_stats();
-  }
-
- private:
-  UvmAccountant accountant_;
-};
-
-// Host-memory layout of the managed/pinned graph arrays: the edge list
-// at offset 0, SSSP's 4-byte weight array on the next page boundary.
-constexpr std::uint32_t kWeightBytes = 4;
-
-std::uint64_t WeightBase(const graph::Csr& csr) {
-  const std::uint64_t edge_bytes = csr.EdgeListBytes();
-  return (edge_bytes + sim::kPageBytes - 1) / sim::kPageBytes *
-         sim::kPageBytes;
-}
-
-std::unique_ptr<TrafficModel> MakeModel(const graph::Csr& csr,
-                                        const EmogiConfig& config) {
-  if (config.mode == AccessMode::kUvm) {
-    const std::uint64_t managed =
-        WeightBase(csr) + csr.num_edges() * kWeightBytes;
-    return std::make_unique<UvmModel>(config, managed);
-  }
-  return std::make_unique<ZeroCopyModel>(config);
-}
-
-}  // namespace
 
 Traversal::Traversal(const graph::Csr& csr, const EmogiConfig& config)
     : csr_(csr), config_(config) {}
 
-BfsRun Traversal::Bfs(graph::VertexId source) {
+BfsRun Traversal::Bfs(graph::VertexId source) const {
+  BfsPolicy policy(csr_, source);
   BfsRun run;
-  const graph::VertexId v_count = csr_.num_vertices();
-  run.levels.assign(v_count, kNoLevel);
-  auto model = MakeModel(csr_, config_);
-
-  std::vector<graph::VertexId> frontier{source};
-  std::vector<graph::VertexId> next;
-  run.levels[source] = 0;
-  std::uint32_t level = 0;
-  while (!frontier.empty()) {
-    next.clear();
-    std::uint64_t edges = 0;
-    for (const graph::VertexId v : frontier) {
-      model->OnListScan(0, csr_.NeighborBegin(v), csr_.NeighborEnd(v),
-                        csr_.edge_elem_bytes());
-      edges += csr_.Degree(v);
-      for (graph::EdgeIndex e = csr_.NeighborBegin(v);
-           e < csr_.NeighborEnd(v); ++e) {
-        const graph::VertexId w = csr_.Neighbor(e);
-        if (run.levels[w] == kNoLevel) {
-          run.levels[w] = level + 1;
-          next.push_back(w);
-        }
-      }
-    }
-    model->CloseKernel(edges);
-    frontier.swap(next);
-    ++level;
-  }
-  run.stats = *model->mutable_stats();
-  run.stats.dataset_bytes = csr_.EdgeListBytes();
+  run.stats = RunFrontierEngine(csr_, config_, policy);
+  run.levels = std::move(policy.levels());
   return run;
 }
 
-SsspRun Traversal::Sssp(graph::VertexId source) {
+SsspRun Traversal::Sssp(graph::VertexId source) const {
+  SsspPolicy policy(csr_, source);
   SsspRun run;
-  const graph::VertexId v_count = csr_.num_vertices();
-  run.distances.assign(v_count, kInfDistance);
-  auto model = MakeModel(csr_, config_);
-  const std::uint64_t weight_base = WeightBase(csr_);
-
-  std::vector<graph::VertexId> frontier{source};
-  std::vector<graph::VertexId> next;
-  std::vector<std::uint8_t> queued(v_count, 0);
-  run.distances[source] = 0;
-  while (!frontier.empty()) {
-    next.clear();
-    std::uint64_t edges = 0;
-    for (const graph::VertexId v : frontier) {
-      queued[v] = 0;
-      // The SSSP kernel streams both the neighbor ids and their weights.
-      model->OnListScan(0, csr_.NeighborBegin(v), csr_.NeighborEnd(v),
-                        csr_.edge_elem_bytes());
-      model->OnListScan(weight_base, csr_.NeighborBegin(v),
-                        csr_.NeighborEnd(v), kWeightBytes);
-      edges += csr_.Degree(v);
-      const std::uint64_t base_distance = run.distances[v];
-      for (graph::EdgeIndex e = csr_.NeighborBegin(v);
-           e < csr_.NeighborEnd(v); ++e) {
-        const graph::VertexId w = csr_.Neighbor(e);
-        const std::uint64_t candidate = base_distance + graph::EdgeWeight(e);
-        if (candidate < run.distances[w]) {
-          run.distances[w] = candidate;
-          if (!queued[w]) {
-            queued[w] = 1;
-            next.push_back(w);
-          }
-        }
-      }
-    }
-    model->CloseKernel(edges);
-    frontier.swap(next);
-  }
-  run.stats = *model->mutable_stats();
-  run.stats.dataset_bytes =
-      csr_.EdgeListBytes() + csr_.num_edges() * kWeightBytes;
+  run.stats = RunFrontierEngine(csr_, config_, policy);
+  run.distances = std::move(policy.distances());
   return run;
 }
 
-CcRun Traversal::Cc() {
+CcRun Traversal::Cc() const {
+  CcPolicy policy(csr_);
   CcRun run;
-  const graph::VertexId v_count = csr_.num_vertices();
-  run.labels.resize(v_count);
-  for (graph::VertexId v = 0; v < v_count; ++v) run.labels[v] = v;
-  auto model = MakeModel(csr_, config_);
-
-  // Min-label propagation with edges treated as undirected: every sweep
-  // scans the full edge list, pulling the minimum over out-neighbors and
-  // pushing it back to them, until a sweep changes nothing. At the
-  // fixpoint both directions of every edge carry equal labels, so each
-  // weakly-connected component settles on its minimum vertex id. (A
-  // frontier version would need the reverse graph to re-notify
-  // in-neighbors; full sweeps are also how the streaming CC kernels the
-  // paper measures behave, which is what gives UVM its locality here.)
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (graph::VertexId v = 0; v < v_count; ++v) {
-      model->OnListScan(0, csr_.NeighborBegin(v), csr_.NeighborEnd(v),
-                        csr_.edge_elem_bytes());
-      graph::VertexId best = run.labels[v];
-      for (graph::EdgeIndex e = csr_.NeighborBegin(v);
-           e < csr_.NeighborEnd(v); ++e) {
-        best = std::min(best, run.labels[csr_.Neighbor(e)]);
-      }
-      if (best < run.labels[v]) {
-        run.labels[v] = best;
-        changed = true;
-      }
-      for (graph::EdgeIndex e = csr_.NeighborBegin(v);
-           e < csr_.NeighborEnd(v); ++e) {
-        const graph::VertexId w = csr_.Neighbor(e);
-        if (best < run.labels[w]) {
-          run.labels[w] = best;
-          changed = true;
-        }
-      }
-    }
-    model->CloseKernel(csr_.num_edges());
-  }
-  run.stats = *model->mutable_stats();
-  run.stats.dataset_bytes = csr_.EdgeListBytes();
+  run.stats = RunFrontierEngine(csr_, config_, policy);
+  run.labels = std::move(policy.labels());
   return run;
 }
 
 std::vector<TraversalStats> Traversal::BfsSweep(
-    const std::vector<graph::VertexId>& sources) {
-  std::vector<TraversalStats> runs;
-  runs.reserve(sources.size());
-  for (const graph::VertexId source : sources) {
-    runs.push_back(Bfs(source).stats);
-  }
-  return runs;
+    const std::vector<graph::VertexId>& sources, int threads) const {
+  runtime::SweepRunner runner(threads);
+  return runner.Run(sources.size(),
+                    [&](std::size_t i) { return Bfs(sources[i]).stats; });
 }
 
 std::vector<TraversalStats> Traversal::SsspSweep(
-    const std::vector<graph::VertexId>& sources) {
-  std::vector<TraversalStats> runs;
-  runs.reserve(sources.size());
-  for (const graph::VertexId source : sources) {
-    runs.push_back(Sssp(source).stats);
-  }
-  return runs;
+    const std::vector<graph::VertexId>& sources, int threads) const {
+  runtime::SweepRunner runner(threads);
+  return runner.Run(sources.size(),
+                    [&](std::size_t i) { return Sssp(sources[i]).stats; });
 }
 
 }  // namespace emogi::core

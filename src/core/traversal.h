@@ -5,6 +5,10 @@
 // arrays (levels/distances/labels, frontier flags) live in device memory
 // and are free, exactly as in the paper's kernels -- only the edge list
 // (and SSSP's weight array) crosses the PCIe link.
+//
+// This is a thin facade: the frontier loop lives in core/engine.h, the
+// access-model costs behind the core/accountant.h interface, and the
+// per-source fan-out on the runtime/ thread pool.
 
 #ifndef EMOGI_CORE_TRAVERSAL_H_
 #define EMOGI_CORE_TRAVERSAL_H_
@@ -13,13 +17,11 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/engine.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 
 namespace emogi::core {
-
-inline constexpr std::uint32_t kNoLevel = 0xffffffffu;
-inline constexpr std::uint64_t kInfDistance = ~0ull;
 
 struct BfsRun {
   std::vector<std::uint32_t> levels;  // kNoLevel if unreachable.
@@ -42,16 +44,19 @@ class Traversal {
  public:
   Traversal(const graph::Csr& csr, const EmogiConfig& config);
 
-  BfsRun Bfs(graph::VertexId source);
-  SsspRun Sssp(graph::VertexId source);
-  CcRun Cc();
+  // Single runs are pure: safe to call concurrently on one Traversal.
+  BfsRun Bfs(graph::VertexId source) const;
+  SsspRun Sssp(graph::VertexId source) const;
+  CcRun Cc() const;
 
   // One run per source; each run starts from a cold device (empty UVM
-  // residency), as in the paper's per-source measurements.
+  // residency), as in the paper's per-source measurements. Runs fan out
+  // across `threads` pool workers (<= 0: the hardware default) with
+  // results in source order, so output is identical at any thread count.
   std::vector<TraversalStats> BfsSweep(
-      const std::vector<graph::VertexId>& sources);
+      const std::vector<graph::VertexId>& sources, int threads = 0) const;
   std::vector<TraversalStats> SsspSweep(
-      const std::vector<graph::VertexId>& sources);
+      const std::vector<graph::VertexId>& sources, int threads = 0) const;
 
  private:
   const graph::Csr& csr_;

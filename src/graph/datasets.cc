@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "graph/generators.h"
@@ -84,8 +85,15 @@ const DatasetInfo& GetDatasetInfo(const std::string& symbol) {
 const Csr& LoadOrGenerateDataset(const std::string& symbol,
                                  std::uint64_t scale) {
   if (scale == 0) scale = 1;
+  // The process-lifetime cache is shared by every sweep worker; the lock
+  // covers lookup and generation (map nodes are stable, so returned
+  // references stay valid across later inserts). Generating under the
+  // lock also keeps concurrent callers from building the same graph
+  // twice.
+  static std::mutex* mutex = new std::mutex();
   static std::map<std::pair<std::string, std::uint64_t>, Csr>* cache =
       new std::map<std::pair<std::string, std::uint64_t>, Csr>();
+  std::lock_guard<std::mutex> lock(*mutex);
   const auto key = std::make_pair(symbol, scale);
   auto it = cache->find(key);
   if (it != cache->end()) return it->second;

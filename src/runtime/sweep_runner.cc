@@ -1,0 +1,8 @@
+#include "runtime/sweep_runner.h"
+
+namespace emogi::runtime {
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(ResolveThreadCount(threads)) {}
+
+}  // namespace emogi::runtime

@@ -1,0 +1,70 @@
+// Fans an indexed batch of independent jobs (one simulated traversal per
+// source, each with its own cold accountant) across a worker pool.
+// Results are placed by index, so the output order -- and therefore
+// every printed figure -- is identical at any thread count; only wall
+// time changes. Jobs must be independent pure functions of their index
+// and must not throw.
+
+#ifndef EMOGI_RUNTIME_SWEEP_RUNNER_H_
+#define EMOGI_RUNTIME_SWEEP_RUNNER_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace emogi::runtime {
+
+class SweepRunner {
+ public:
+  // `threads` <= 0 picks the hardware default.
+  explicit SweepRunner(int threads);
+
+  int thread_count() const { return threads_; }
+
+  // Runs fn(0), ..., fn(count - 1) and returns their results in index
+  // order. The pool is sized min(threads, count) per call -- a 4-source
+  // sweep never spawns more than 4 workers -- and a single-worker batch
+  // runs inline on the calling thread (no pool at all).
+  template <typename Fn>
+  auto Run(std::size_t count, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using Result = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<Result> results(count);
+    if (count == 0) return results;
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads_), count));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+      return results;
+    }
+
+    ThreadPool pool(workers);
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::size_t remaining = count;
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.Submit([&, i] {
+        Result result = fn(i);
+        std::lock_guard<std::mutex> lock(mutex);
+        results[i] = std::move(result);
+        if (--remaining == 0) all_done.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [&] { return remaining == 0; });
+    return results;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace emogi::runtime
+
+#endif  // EMOGI_RUNTIME_SWEEP_RUNNER_H_

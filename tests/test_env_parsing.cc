@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "bench_util.h"
+#include "runtime/thread_pool.h"
 #include "test_util.h"
 
 namespace emogi {
@@ -21,17 +22,23 @@ void SetEnv(const char* name, const char* value) {
 void TestDefaults() {
   SetEnv("EMOGI_SCALE", nullptr);
   SetEnv("EMOGI_SOURCES", nullptr);
+  SetEnv("EMOGI_THREADS", nullptr);
   const bench::BenchOptions options = bench::BenchOptions::FromEnv();
   CHECK(options.scale == 512);
   CHECK(options.sources == 4);
+  // Default thread count: hardware_concurrency, clamped >= 1.
+  CHECK(options.threads == runtime::ResolveThreadCount(0));
+  CHECK(options.threads >= 1);
 }
 
 void TestValidValues() {
   SetEnv("EMOGI_SCALE", "4096");
   SetEnv("EMOGI_SOURCES", "16");
+  SetEnv("EMOGI_THREADS", "8");
   const bench::BenchOptions options = bench::BenchOptions::FromEnv();
   CHECK(options.scale == 4096);
   CHECK(options.sources == 16);
+  CHECK(options.threads == 8);
 }
 
 void TestGarbageKeepsDefaults() {
@@ -40,10 +47,18 @@ void TestGarbageKeepsDefaults() {
   for (const char* value : bad) {
     SetEnv("EMOGI_SCALE", value);
     SetEnv("EMOGI_SOURCES", value);
+    SetEnv("EMOGI_THREADS", value);
     const bench::BenchOptions options = bench::BenchOptions::FromEnv();
     CHECK(options.scale == 512);
     CHECK(options.sources == 4);
+    CHECK(options.threads == runtime::ResolveThreadCount(0));
   }
+  // Thread counts beyond the 1024 worker cap are rejected too.
+  SetEnv("EMOGI_SCALE", nullptr);
+  SetEnv("EMOGI_SOURCES", nullptr);
+  SetEnv("EMOGI_THREADS", "1025");
+  CHECK(bench::BenchOptions::FromEnv().threads ==
+        runtime::ResolveThreadCount(0));
 }
 
 }  // namespace
