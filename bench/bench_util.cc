@@ -54,12 +54,13 @@ BenchOptions BenchOptions::FromEnv() {
       options.threads = static_cast<int>(value);
     }
   }
+  options.data = graph::DataSource::FromEnv();
   return options;
 }
 
 const graph::Csr& LoadDataset(const std::string& symbol,
                               const BenchOptions& options) {
-  return graph::LoadOrGenerateDataset(symbol, options.scale);
+  return graph::LoadOrGenerateDataset(symbol, options.scale, options.data);
 }
 
 std::vector<graph::VertexId> Sources(const graph::Csr& csr,

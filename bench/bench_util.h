@@ -23,10 +23,17 @@ namespace emogi::bench {
 //   EMOGI_THREADS  sweep workers fanning the per-source runs (default:
 //                  hardware_concurrency, clamped >= 1). Results are
 //                  deterministic at any thread count.
+//   EMOGI_DATA_DIR directory of real `<symbol>.el` edge lists; when a
+//                  dataset's file exists there it is ingested instead of
+//                  generated (must be an existing directory, else the
+//                  value is rejected with a warning).
+//   EMOGI_CACHE_DIR  where binary CSR caches for ingested graphs live
+//                  (default: "<EMOGI_DATA_DIR>/emogi-cache").
 struct BenchOptions {
   std::uint64_t scale = 512;
   int sources = 4;
   int threads = 1;
+  graph::DataSource data;
 
   static BenchOptions FromEnv();
 };

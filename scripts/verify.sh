@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the ctest suite, then smoke
-# the figure-9 bench at a fast scale. Run from anywhere.
+# Tier-1 verification: configure, build, run the ctest suite, then
+# exercise the ingestion subsystem (parser + CSR cache round trip) and
+# smoke the figure-9 bench in both generated-analog and real-data mode.
+# Run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,5 +12,27 @@ cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 echo
-echo "=== smoke: bench_fig09 at EMOGI_SCALE=4096 ==="
+echo "=== ingestion tests ==="
+# ctest above already ran these; the explicit reruns make an ingestion
+# regression fail loudly on its own named line (and cost milliseconds).
+./build/test_edge_list_parser
+./build/test_csr_cache
+
+echo
+echo "=== fixture round trip: parse -> CSR -> cache -> reload ==="
+# Clean slate (rm -rf) forces a full re-ingest rather than reusing the
+# CSR cache a previous run left behind. --check fails loudly if an
+# ingested fixture violates the invariants the generated-analog path
+# guarantees (valid CSR, symmetric undirected adjacency) or if the
+# cache round trip is not byte-identical.
+rm -rf build/fixtures
+./build/make_fixtures --check build/fixtures
+
+echo
+echo "=== smoke: bench_fig09 at EMOGI_SCALE=4096 (generated analogs) ==="
 EMOGI_SCALE=4096 ./build/bench_fig09_bfs_speedup
+
+echo
+echo "=== smoke: bench_fig09 on real fixture edge lists ==="
+EMOGI_DATA_DIR=build/fixtures EMOGI_CACHE_DIR=build/fixtures/emogi-cache \
+  EMOGI_SCALE=4096 ./build/bench_fig09_bfs_speedup

@@ -43,6 +43,11 @@ class Csr {
   bool directed() const { return directed_; }
   const std::string& name() const { return name_; }
 
+  // Raw arrays for whole-graph consumers (binary cache serialization,
+  // structural comparisons). Hot paths should use the indexed accessors.
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
   // Bytes of one edge element as laid out in (simulated) host memory.
   // 8 in the paper's default layout; Subway supports only 4.
   std::uint32_t edge_elem_bytes() const { return edge_elem_bytes_; }

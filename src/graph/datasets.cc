@@ -1,13 +1,18 @@
 #include "graph/datasets.h"
 
+#include <sys/stat.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <set>
+#include <tuple>
 #include <utility>
 
 #include "graph/generators.h"
+#include "io/ingest.h"
 
 namespace emogi::graph {
 namespace {
@@ -82,23 +87,92 @@ const DatasetInfo& GetDatasetInfo(const std::string& symbol) {
   return GetRecipe(symbol).info;
 }
 
+DataSource DataSource::FromEnv() {
+  DataSource source;
+  if (const char* dir = std::getenv("EMOGI_DATA_DIR")) {
+    struct stat st {};
+    if (dir[0] == '\0' || ::stat(dir, &st) != 0 || !S_ISDIR(st.st_mode)) {
+      std::fprintf(stderr,
+                   "warning: ignoring EMOGI_DATA_DIR='%s' (not an existing "
+                   "directory); using generated analogs\n",
+                   dir);
+    } else {
+      source.data_dir = dir;
+    }
+  }
+  if (const char* dir = std::getenv("EMOGI_CACHE_DIR")) {
+    if (dir[0] == '\0') {
+      std::fprintf(stderr,
+                   "warning: ignoring empty EMOGI_CACHE_DIR (cache goes "
+                   "next to the data)\n");
+    } else {
+      source.cache_dir = dir;
+    }
+  }
+  return source;
+}
+
 const Csr& LoadOrGenerateDataset(const std::string& symbol,
-                                 std::uint64_t scale) {
+                                 std::uint64_t scale,
+                                 const DataSource& source) {
   if (scale == 0) scale = 1;
   // The process-lifetime cache is shared by every sweep worker; the lock
-  // covers lookup and generation (map nodes are stable, so returned
-  // references stay valid across later inserts). Generating under the
-  // lock also keeps concurrent callers from building the same graph
-  // twice.
+  // covers lookup and generation/ingestion (map nodes are stable, so
+  // returned references stay valid across later inserts). Building under
+  // the lock also keeps concurrent callers from building the same graph
+  // twice. Real graphs are keyed by data_dir and ignore scale (the file
+  // is one fixed size), so mixing env-on and env-off callers in one
+  // process never aliases.
+  using CacheKey = std::tuple<std::string, std::string, std::uint64_t>;
   static std::mutex* mutex = new std::mutex();
-  static std::map<std::pair<std::string, std::uint64_t>, Csr>* cache =
-      new std::map<std::pair<std::string, std::uint64_t>, Csr>();
+  static std::map<CacheKey, Csr>* cache = new std::map<CacheKey, Csr>();
+  // Symbols whose ingest already failed or missed: fall back to the
+  // analog immediately instead of re-stating (or worse, re-parsing a
+  // malformed multi-GB file) and re-warning on every call.
+  static std::set<std::pair<std::string, std::string>>* fallbacks =
+      new std::set<std::pair<std::string, std::string>>();
   std::lock_guard<std::mutex> lock(*mutex);
-  const auto key = std::make_pair(symbol, scale);
+
+  const DatasetRecipe& recipe = GetRecipe(symbol);
+  if (!source.data_dir.empty() &&
+      fallbacks->count({symbol, source.data_dir}) == 0) {
+    const CacheKey real_key(symbol, source.data_dir, 0);
+    auto it = cache->find(real_key);
+    if (it != cache->end()) return it->second;
+
+    Csr real;
+    io::IngestReport report;
+    std::string error;
+    const io::IngestStatus status =
+        io::LoadRealDataset(symbol, recipe.info.directed, source.data_dir,
+                            source.cache_dir, &real, &report, &error);
+    if (status == io::IngestStatus::kLoaded) {
+      std::fprintf(stderr,
+                   "emogi: %s <- %s (V=%llu, E=%llu, %s)\n", symbol.c_str(),
+                   report.edge_list_path.c_str(),
+                   static_cast<unsigned long long>(real.num_vertices()),
+                   static_cast<unsigned long long>(real.num_edges()),
+                   report.from_cache ? "CSR cache hit" : "parsed + cached");
+      return cache->emplace(real_key, std::move(real)).first->second;
+    }
+    if (status == io::IngestStatus::kFailed) {
+      std::fprintf(stderr,
+                   "warning: could not ingest real dataset %s: %s; falling "
+                   "back to the generated analog\n",
+                   symbol.c_str(), error.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "emogi: no %s.el/.txt under %s; using the generated "
+                   "analog\n",
+                   symbol.c_str(), source.data_dir.c_str());
+    }
+    fallbacks->insert({symbol, source.data_dir});
+  }
+
+  const CacheKey key(symbol, "", scale);
   auto it = cache->find(key);
   if (it != cache->end()) return it->second;
 
-  const DatasetRecipe& recipe = GetRecipe(symbol);
   GeneratorSpec spec;
   spec.vertices = static_cast<VertexId>(std::max<std::uint64_t>(
       64, static_cast<std::uint64_t>(recipe.info.paper_vertices_m * 1e6 /
@@ -114,6 +188,11 @@ const Csr& LoadOrGenerateDataset(const std::string& symbol,
   spec.seed = recipe.seed;
   spec.name = symbol;
   return cache->emplace(key, Generate(spec)).first->second;
+}
+
+const Csr& LoadOrGenerateDataset(const std::string& symbol,
+                                 std::uint64_t scale) {
+  return LoadOrGenerateDataset(symbol, scale, DataSource::FromEnv());
 }
 
 std::vector<VertexId> PickSources(const Csr& csr, int count) {

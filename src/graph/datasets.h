@@ -33,11 +33,35 @@ const std::vector<std::string>& UndirectedDatasetSymbols();
 // Dies with a clear message on an unknown symbol.
 const DatasetInfo& GetDatasetInfo(const std::string& symbol);
 
-// Returns the scaled analog, generating it on first use and serving an
-// in-process cache afterwards (generation is deterministic, so there is
-// nothing to persist). The reference stays valid for the process
-// lifetime -- the cache never evicts; copy it to mutate (e.g. a
+// Where real graphs come from. When `data_dir` is empty every load is a
+// generated analog; when it names a directory holding `<symbol>.el` (or
+// `.txt`) edge lists, those are ingested instead, with a binary CSR
+// cache under `cache_dir` ("<data_dir>/emogi-cache" when empty) so the
+// text parse happens once per edge list.
+struct DataSource {
+  std::string data_dir;
+  std::string cache_dir;
+
+  // Strict env parsing, matching the BenchOptions knobs: EMOGI_DATA_DIR
+  // must name an existing directory and EMOGI_CACHE_DIR must be
+  // non-empty, else the value is rejected with a warning and the
+  // (generated-analog) default kept.
+  static DataSource FromEnv();
+};
+
+// Returns the dataset for `symbol`: the real graph from `source` when
+// its edge list exists there (scale is ignored for real graphs -- the
+// file is whatever size it is), otherwise the scaled generated analog.
+// Served from an in-process cache; the reference stays valid for the
+// process lifetime -- the cache never evicts; copy it to mutate (e.g. a
 // different edge_elem_bytes).
+const Csr& LoadOrGenerateDataset(const std::string& symbol,
+                                 std::uint64_t scale,
+                                 const DataSource& source);
+
+// Convenience overload: source taken from the environment
+// (DataSource::FromEnv), so every existing caller gains real-data mode
+// via EMOGI_DATA_DIR with no code change.
 const Csr& LoadOrGenerateDataset(const std::string& symbol,
                                  std::uint64_t scale);
 

@@ -1,0 +1,77 @@
+// Versioned binary on-disk cache for graph::Csr, so a real edge list is
+// parsed once and loads in milliseconds thereafter.
+//
+// File layout (little-endian, the only byte order this repo targets):
+//
+//   CsrCacheHeader   56 bytes: magic 'EMGC', format version, flags
+//                    (bit 0 = directed), edge_elem_bytes, vertex/edge
+//                    counts, source signature, FNV-1a payload checksum
+//   name             name_length bytes (graph name, no terminator)
+//   offsets          (vertex_count + 1) * 8 bytes
+//   neighbors        edge_count * 4 bytes
+//
+// The checksum covers the header itself (with the checksum field
+// zeroed) plus everything after it, so truncation and bit rot -- in the
+// arrays or in the header's own flags/counts -- are both detected; a
+// version bump invalidates old files wholesale.
+// `source_signature` ties a cache file to the edge list it was built
+// from (callers use the source file size) so a changed input re-ingests
+// instead of serving a stale graph. Loads never trust a bad file: any
+// mismatch is reported as kInvalid and the caller regenerates.
+
+#ifndef EMOGI_IO_CSR_CACHE_H_
+#define EMOGI_IO_CSR_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.h"
+
+namespace emogi::io {
+
+constexpr std::uint32_t kCsrCacheMagic = 0x43474D45u;  // "EMGC" on disk.
+constexpr std::uint32_t kCsrCacheVersion = 1;
+
+struct CsrCacheHeader {
+  std::uint32_t magic = kCsrCacheMagic;
+  std::uint32_t version = kCsrCacheVersion;
+  std::uint32_t flags = 0;
+  std::uint32_t edge_elem_bytes = 8;
+  std::uint64_t vertex_count = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t source_signature = 0;
+  std::uint64_t payload_checksum = 0;
+  std::uint32_t name_length = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(CsrCacheHeader) == 56, "cache header layout is ABI");
+
+enum class CacheLoadResult {
+  kLoaded,   // `out` holds the cached graph.
+  kMissing,  // No file at `path` -- a plain cache miss.
+  kInvalid,  // File exists but is corrupt, truncated, stale, or from a
+             // different format version; `error` says which.
+};
+
+// Chainable FNV-1a 64 (pass the previous return as `basis` to extend).
+std::uint64_t Fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t basis = 0xCBF29CE484222325ull);
+
+// Serializes `csr` to `path` (via a temp file + rename, so readers never
+// observe a half-written cache). Returns false and fills `error` on I/O
+// failure. The write is deterministic: the same CSR always produces
+// byte-identical files.
+bool SaveCsrCache(const graph::Csr& csr, const std::string& path,
+                  std::uint64_t source_signature, std::string* error);
+
+// Loads `path`, mmap-ing it read-only when possible and falling back to
+// buffered reads. `expected_signature` != 0 additionally requires the
+// stored source signature to match. The loaded graph is revalidated
+// structurally (Csr::Validate) before being returned.
+CacheLoadResult LoadCsrCache(const std::string& path,
+                             std::uint64_t expected_signature,
+                             graph::Csr* out, std::string* error);
+
+}  // namespace emogi::io
+
+#endif  // EMOGI_IO_CSR_CACHE_H_

@@ -1,0 +1,239 @@
+#include "io/edge_list.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace emogi::io {
+namespace {
+
+using graph::EdgeIndex;
+using graph::VertexId;
+
+// Largest id that still lets vertex_count = id + 1 fit in VertexId.
+constexpr std::uint64_t kMaxVertexId = 0xFFFFFFFEull;
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Parses one unsigned integer at *p (advancing it), rejecting overflow
+// past kMaxVertexId early so a absurdly long digit run cannot wrap.
+bool ParseId(const char*& p, const char* end, std::uint64_t* out) {
+  if (p == end || !IsDigit(*p)) return false;
+  std::uint64_t value = 0;
+  while (p != end && IsDigit(*p)) {
+    value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+    if (value > kMaxVertexId) return false;
+    ++p;
+  }
+  *out = value;
+  return true;
+}
+
+// Accumulates parsed edges; lines are fed one at a time so the file
+// reader can stream chunks without materializing the text.
+class EdgeAccumulator {
+ public:
+  explicit EdgeAccumulator(bool directed) : directed_(directed) {}
+
+  bool ConsumeLine(const char* begin, const char* end, std::string* error) {
+    ++stats_.lines;
+    const char* p = begin;
+    while (p != end && IsSpace(*p)) ++p;
+    if (p == end) {
+      ++stats_.blank_lines;
+      return true;
+    }
+    if (*p == '#' || *p == '%' || (end - p >= 2 && p[0] == '/' && p[1] == '/')) {
+      ++stats_.comment_lines;
+      return true;
+    }
+
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!ParseId(p, end, &src)) return Fail(error, "expected a vertex id");
+    if (p == end || !IsSpace(*p)) {
+      return Fail(error, "expected whitespace after source id");
+    }
+    while (p != end && IsSpace(*p)) ++p;
+    if (!ParseId(p, end, &dst)) {
+      return Fail(error, "truncated edge (missing destination id)");
+    }
+    // Optional third column (edge weight in some SNAP dumps) is ignored;
+    // anything beyond that is malformed.
+    while (p != end && IsSpace(*p)) ++p;
+    if (p != end) {
+      std::uint64_t weight = 0;
+      if (!ParseId(p, end, &weight)) return Fail(error, "trailing garbage");
+      while (p != end && IsSpace(*p)) ++p;
+      if (p != end) return Fail(error, "too many columns");
+    }
+
+    ++stats_.accepted_edges;
+    // Even a dropped self-loop's endpoint belongs to the vertex
+    // universe, so update the id bound before filtering.
+    max_id_ = std::max(max_id_, std::max(src, dst));
+    if (src == dst) {
+      ++stats_.self_loops;
+      return true;
+    }
+    // Undirected edges are canonicalized to (min, max) so "u v" and
+    // "v u" dedup to one edge before being mirrored into the CSR.
+    if (!directed_ && src > dst) std::swap(src, dst);
+    edges_.push_back((src << 32) | dst);
+    return true;
+  }
+
+  bool Build(const std::string& name, graph::Csr* out, std::string* error) {
+    if (edges_.empty()) {
+      if (error) {
+        *error = "no edges found (" + std::to_string(stats_.lines) +
+                 " lines, all comments/blanks/self-loops)";
+      }
+      return false;
+    }
+    std::sort(edges_.begin(), edges_.end());
+    const std::size_t before = edges_.size();
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    stats_.duplicate_edges = before - edges_.size();
+
+    if (!directed_) {
+      const std::size_t half = edges_.size();
+      edges_.reserve(2 * half);
+      for (std::size_t i = 0; i < half; ++i) {
+        const std::uint64_t e = edges_[i];
+        edges_.push_back((e << 32) | (e >> 32));
+      }
+      std::sort(edges_.begin(), edges_.end());
+    }
+
+    const auto v_count = static_cast<std::size_t>(max_id_ + 1);
+    std::vector<EdgeIndex> offsets(v_count + 1, 0);
+    for (const std::uint64_t e : edges_) ++offsets[(e >> 32) + 1];
+    for (std::size_t v = 0; v < v_count; ++v) offsets[v + 1] += offsets[v];
+    std::vector<VertexId> neighbors(edges_.size());
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      neighbors[i] = static_cast<VertexId>(edges_[i] & 0xFFFFFFFFull);
+    }
+    *out = graph::Csr(std::move(offsets), std::move(neighbors), directed_,
+                      name);
+    return true;
+  }
+
+  const EdgeListStats& stats() const { return stats_; }
+
+ private:
+  bool Fail(std::string* error, const char* what) {
+    if (error) {
+      *error = "line " + std::to_string(stats_.lines) + ": " + what +
+               " (expected 'src dst [weight]' with ids <= " +
+               std::to_string(kMaxVertexId) + ")";
+    }
+    return false;
+  }
+
+  bool directed_;
+  std::vector<std::uint64_t> edges_;  // (src << 32) | dst packed pairs.
+  std::uint64_t max_id_ = 0;
+  EdgeListStats stats_;
+};
+
+// A real edge line is tens of bytes; anything carrying this much text
+// without a newline is not a line-oriented edge list (a gzipped dump
+// renamed to .el, a binary file), so fail instead of buffering it all.
+constexpr std::size_t kMaxLineBytes = std::size_t{1} << 16;
+
+// Splits a chunk into lines, carrying any unterminated tail into `carry`
+// so the next chunk (or Finish) completes it.
+bool FeedChunk(EdgeAccumulator& acc, std::string& carry, const char* data,
+               std::size_t size, std::string* error) {
+  const char* p = data;
+  const char* const end = data + size;
+  while (p != end) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    if (nl == nullptr) {
+      if (carry.size() + static_cast<std::size_t>(end - p) > kMaxLineBytes) {
+        if (error) {
+          *error = "line " + std::to_string(acc.stats().lines + 1) +
+                   ": longer than " + std::to_string(kMaxLineBytes) +
+                   " bytes -- not a text edge list?";
+        }
+        return false;
+      }
+      carry.append(p, end);
+      return true;
+    }
+    if (carry.empty()) {
+      if (!acc.ConsumeLine(p, nl, error)) return false;
+    } else {
+      carry.append(p, nl);
+      if (!acc.ConsumeLine(carry.data(), carry.data() + carry.size(), error)) {
+        return false;
+      }
+      carry.clear();
+    }
+    p = nl + 1;
+  }
+  return true;
+}
+
+bool FinishFeed(EdgeAccumulator& acc, std::string& carry,
+                std::string* error) {
+  // A final line without a trailing newline is normal; an *incomplete*
+  // one (e.g. a file truncated mid-edge) fails inside ConsumeLine.
+  if (carry.empty()) return true;
+  const bool ok =
+      acc.ConsumeLine(carry.data(), carry.data() + carry.size(), error);
+  carry.clear();
+  return ok;
+}
+
+}  // namespace
+
+bool ParseEdgeListText(const char* data, std::size_t size, bool directed,
+                       const std::string& name, graph::Csr* out,
+                       EdgeListStats* stats, std::string* error) {
+  EdgeAccumulator acc(directed);
+  std::string carry;
+  bool ok = FeedChunk(acc, carry, data, size, error) &&
+            FinishFeed(acc, carry, error) && acc.Build(name, out, error);
+  if (stats) *stats = acc.stats();
+  return ok;
+}
+
+bool ParseEdgeListFile(const std::string& path, bool directed,
+                       const std::string& name, graph::Csr* out,
+                       EdgeListStats* stats, std::string* error,
+                       std::size_t chunk_size) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  if (chunk_size == 0) chunk_size = 1;
+  EdgeAccumulator acc(directed);
+  std::string carry;
+  std::vector<char> buffer(chunk_size);
+  bool ok = true;
+  while (ok) {
+    const std::size_t n = std::fread(buffer.data(), 1, buffer.size(), file);
+    if (n == 0) break;
+    ok = FeedChunk(acc, carry, buffer.data(), n, error);
+  }
+  if (ok && std::ferror(file)) {
+    if (error) *error = "read error on '" + path + "'";
+    ok = false;
+  }
+  std::fclose(file);
+  ok = ok && FinishFeed(acc, carry, error) && acc.Build(name, out, error);
+  if (stats) *stats = acc.stats();
+  if (!ok && error && error->rfind("line ", 0) == 0) {
+    *error = path + ": " + *error;
+  }
+  return ok;
+}
+
+}  // namespace emogi::io

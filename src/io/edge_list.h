@@ -1,0 +1,53 @@
+// Streaming edge-list ingestion: parses SNAP/GAP-style text edge lists
+// ("src dst" per line, `#`/`%`/`//` comments, blank lines, optional
+// ignored weight column) into graph::Csr. The parser is tolerant of
+// whitespace, CRLF, out-of-order vertex ids, duplicate edges, and
+// self-loops (the latter two are dropped and counted); it is strict
+// about everything else -- a malformed line fails the parse with a
+// line-numbered error instead of silently producing a wrong graph.
+
+#ifndef EMOGI_IO_EDGE_LIST_H_
+#define EMOGI_IO_EDGE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.h"
+
+namespace emogi::io {
+
+// What the parser saw, for logging and tests.
+struct EdgeListStats {
+  std::uint64_t lines = 0;            // All lines, including comments/blanks.
+  std::uint64_t comment_lines = 0;    // '#', '%', or '//' lines.
+  std::uint64_t blank_lines = 0;      // Empty or whitespace-only lines.
+  std::uint64_t self_loops = 0;       // "v v" edges, dropped.
+  std::uint64_t duplicate_edges = 0;  // Repeated pairs, dropped. In the
+                                      // undirected case "u v" and "v u"
+                                      // count as the same edge.
+  std::uint64_t accepted_edges = 0;   // Edge lines that survived parsing
+                                      // (before dedup).
+};
+
+// Parses an in-memory edge list into `out`. `directed` selects whether
+// each "u v" line is one arc or a symmetric pair (the resulting CSR then
+// holds both directions). Vertex count is max referenced id + 1; ids must
+// fit VertexId. Returns false and fills `error` (never crashes) on
+// malformed input, including an edge list with no edges at all.
+bool ParseEdgeListText(const char* data, std::size_t size, bool directed,
+                       const std::string& name, graph::Csr* out,
+                       EdgeListStats* stats, std::string* error);
+
+// Streaming file variant: reads `path` in chunks (lines may span chunk
+// boundaries), so multi-GB edge lists never need a whole-file buffer
+// beyond the edge array itself. `chunk_size` is exposed for tests that
+// want to stress boundary handling; the default is tuned for throughput.
+bool ParseEdgeListFile(const std::string& path, bool directed,
+                       const std::string& name, graph::Csr* out,
+                       EdgeListStats* stats, std::string* error,
+                       std::size_t chunk_size = std::size_t{1} << 20);
+
+}  // namespace emogi::io
+
+#endif  // EMOGI_IO_EDGE_LIST_H_

@@ -1,0 +1,50 @@
+// Ties the edge-list parser and the binary CSR cache together: given a
+// dataset symbol and a data directory, find `<symbol>.el` (or `.txt`),
+// serve the cached CSR when a valid cache file exists, and otherwise
+// parse + cache. Corrupt, stale, or version-mismatched cache files are
+// warned about and regenerated -- never trusted, never fatal.
+
+#ifndef EMOGI_IO_INGEST_H_
+#define EMOGI_IO_INGEST_H_
+
+#include <string>
+
+#include "io/edge_list.h"
+#include "graph/csr.h"
+
+namespace emogi::io {
+
+enum class IngestStatus {
+  kLoaded,    // `out` holds the real graph (from cache or a fresh parse).
+  kNotFound,  // No `<symbol>.el`/`<symbol>.txt` under data_dir; the
+              // caller should fall back to its generated analog.
+  kFailed,    // An edge list exists but could not be ingested; `error`
+              // explains (malformed file, unreadable, ...).
+};
+
+// How a LoadRealDataset call was satisfied, for logging and tests.
+struct IngestReport {
+  bool from_cache = false;
+  std::string edge_list_path;
+  std::string cache_path;
+  EdgeListStats stats;  // Only meaningful when a parse actually ran.
+};
+
+// mkdir -p. Returns false and fills `error` if a component could not be
+// created (existing directories are fine).
+bool EnsureDirectory(const std::string& path, std::string* error);
+
+// Loads the real dataset `symbol` from `data_dir`. `cache_dir` receives
+// the binary CSR cache ("<data_dir>/emogi-cache" when empty); a cache
+// write failure only warns, since the cache is an optimization. The
+// cache is keyed to the edge list by file size, so a replaced input of
+// different size re-ingests automatically (delete the cache file after
+// same-size in-place edits).
+IngestStatus LoadRealDataset(const std::string& symbol, bool directed,
+                             const std::string& data_dir,
+                             const std::string& cache_dir, graph::Csr* out,
+                             IngestReport* report, std::string* error);
+
+}  // namespace emogi::io
+
+#endif  // EMOGI_IO_INGEST_H_

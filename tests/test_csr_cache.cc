@@ -1,0 +1,256 @@
+// Binary CSR cache: round-trip fidelity (including byte-identical
+// re-serialization), rejection of corrupt / truncated / version-skewed /
+// stale files, and the end-to-end ingestion path behind
+// LoadOrGenerateDataset -- a bad cache must be regenerated, never
+// trusted or crashed on.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "io/csr_cache.h"
+#include "io/edge_list.h"
+#include "io/ingest.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+std::string g_dir;  // Fresh temp dir for the whole test binary.
+
+std::string Path(const std::string& leaf) { return g_dir + "/" + leaf; }
+
+graph::Csr ParseFixture(bool directed = false) {
+  // Deliberately messy: comments, duplicates, a self-loop, out-of-order
+  // ids -- the parsed result is what must survive the cache round-trip.
+  const std::string text =
+      "# fixture\n5 2\n2 5\n0 1\n1 3\n3 3\n4 0\n0 1\n";
+  graph::Csr csr;
+  std::string error;
+  CHECK(io::ParseEdgeListText(text.data(), text.size(), directed, "fix", &csr,
+                              nullptr, &error));
+  return csr;
+}
+
+std::vector<unsigned char> ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  CHECK(file != nullptr);
+  std::vector<unsigned char> bytes;
+  unsigned char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<unsigned char>& b) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  CHECK(file != nullptr);
+  CHECK(std::fwrite(b.data(), 1, b.size(), file) == b.size());
+  CHECK(std::fclose(file) == 0);
+}
+
+void TestRoundTrip() {
+  const graph::Csr original = ParseFixture();
+  const std::string path = Path("round.csr");
+  std::string error;
+  CHECK(io::SaveCsrCache(original, path, 77, &error));
+
+  graph::Csr loaded;
+  CHECK(io::LoadCsrCache(path, 77, &loaded, &error) ==
+        io::CacheLoadResult::kLoaded);
+  CHECK(loaded.offsets() == original.offsets());
+  CHECK(loaded.neighbors() == original.neighbors());
+  CHECK(loaded.directed() == original.directed());
+  CHECK(loaded.name() == original.name());
+  CHECK(loaded.edge_elem_bytes() == original.edge_elem_bytes());
+
+  // Saving the loaded graph again must reproduce the file byte for byte.
+  const std::string replay = Path("round2.csr");
+  CHECK(io::SaveCsrCache(loaded, replay, 77, &error));
+  CHECK(ReadAll(path) == ReadAll(replay));
+
+  // Signature 0 means "accept any source"; a different nonzero
+  // signature means stale.
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kLoaded);
+  CHECK(io::LoadCsrCache(path, 78, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+  CHECK(error.find("stale") != std::string::npos);
+
+  // Directed graphs keep their flag through the cache.
+  const graph::Csr directed = ParseFixture(/*directed=*/true);
+  CHECK(io::SaveCsrCache(directed, Path("dir.csr"), 1, &error));
+  CHECK(io::LoadCsrCache(Path("dir.csr"), 1, &loaded, &error) ==
+        io::CacheLoadResult::kLoaded);
+  CHECK(loaded.directed());
+  CHECK(loaded.neighbors() == directed.neighbors());
+}
+
+void TestRejectsBadFiles() {
+  const graph::Csr original = ParseFixture();
+  const std::string path = Path("bad.csr");
+  std::string error;
+  graph::Csr loaded;
+
+  CHECK(io::LoadCsrCache(Path("absent.csr"), 0, &loaded, &error) ==
+        io::CacheLoadResult::kMissing);
+
+  // Flip one payload byte: checksum must catch it.
+  CHECK(io::SaveCsrCache(original, path, 0, &error));
+  std::vector<unsigned char> bytes = ReadAll(path);
+  bytes[bytes.size() - 3] ^= 0x40;
+  WriteAll(path, bytes);
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+  CHECK(error.find("checksum") != std::string::npos);
+
+  // Truncation: size no longer matches the header's promise.
+  bytes = ReadAll(Path("round.csr"));
+  bytes.resize(bytes.size() / 2);
+  WriteAll(path, bytes);
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+  CHECK(error.find("truncated") != std::string::npos);
+
+  // A file shorter than the header.
+  WriteAll(path, {'E', 'M', 'G', 'C'});
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+
+  // Wrong magic: not one of our files at all.
+  bytes = ReadAll(Path("round.csr"));
+  bytes[0] = 'X';
+  WriteAll(path, bytes);
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+  CHECK(error.find("magic") != std::string::npos);
+
+  // Future format version: refused.
+  bytes = ReadAll(Path("round.csr"));
+  bytes[4] = 0xFF;
+  WriteAll(path, bytes);
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+  CHECK(error.find("version") != std::string::npos);
+
+  // Header bit rot: flipping the directed flag leaves sizes and payload
+  // intact, so only the header-covering checksum can catch it.
+  bytes = ReadAll(Path("round.csr"));
+  bytes[8] ^= 0x01;  // flags field, bit 0 = directed.
+  WriteAll(path, bytes);
+  CHECK(io::LoadCsrCache(path, 0, &loaded, &error) ==
+        io::CacheLoadResult::kInvalid);
+  CHECK(error.find("checksum") != std::string::npos);
+}
+
+void TestIngestAndRegeneration() {
+  const std::string data_dir = Path("data");
+  const std::string cache_dir = Path("cache");
+  std::string error;
+  CHECK(io::EnsureDirectory(data_dir, &error));
+  std::FILE* file = std::fopen((data_dir + "/GU.el").c_str(), "w");
+  CHECK(file != nullptr);
+  std::fprintf(file, "# tiny GU stand-in\n0 1\n1 2\n2 3\n3 0\n");
+  CHECK(std::fclose(file) == 0);
+
+  graph::Csr parsed;
+  io::IngestReport report;
+  CHECK(io::LoadRealDataset("GU", false, data_dir, cache_dir, &parsed,
+                            &report, &error) == io::IngestStatus::kLoaded);
+  CHECK(!report.from_cache);
+  CHECK(parsed.num_vertices() == 4);
+  CHECK(parsed.num_edges() == 8);  // 4 undirected edges, mirrored.
+
+  graph::Csr again;
+  CHECK(io::LoadRealDataset("GU", false, data_dir, cache_dir, &again, &report,
+                            &error) == io::IngestStatus::kLoaded);
+  CHECK(report.from_cache);
+  CHECK(again.offsets() == parsed.offsets());
+  CHECK(again.neighbors() == parsed.neighbors());
+
+  // Corrupt the cache in place: the next load must warn, re-parse, and
+  // rewrite a valid cache -- never serve garbage.
+  std::vector<unsigned char> bytes = ReadAll(report.cache_path);
+  bytes.back() ^= 0xFF;
+  WriteAll(report.cache_path, bytes);
+  CHECK(io::LoadRealDataset("GU", false, data_dir, cache_dir, &again, &report,
+                            &error) == io::IngestStatus::kLoaded);
+  CHECK(!report.from_cache);
+  CHECK(again.neighbors() == parsed.neighbors());
+  CHECK(io::LoadRealDataset("GU", false, data_dir, cache_dir, &again, &report,
+                            &error) == io::IngestStatus::kLoaded);
+  CHECK(report.from_cache);
+
+  // A malformed edge list fails loudly instead of producing a graph.
+  file = std::fopen((data_dir + "/GK.el").c_str(), "w");
+  CHECK(file != nullptr);
+  std::fprintf(file, "0 1\nnot an edge\n");
+  CHECK(std::fclose(file) == 0);
+  CHECK(io::LoadRealDataset("GK", false, data_dir, cache_dir, &again, &report,
+                            &error) == io::IngestStatus::kFailed);
+  CHECK(error.find("line 2") != std::string::npos);
+
+  // Absent symbol: a plain miss, so callers fall back to the analog.
+  CHECK(io::LoadRealDataset("ML", false, data_dir, cache_dir, &again, &report,
+                            &error) == io::IngestStatus::kNotFound);
+}
+
+void TestLoadOrGenerateSeam() {
+  const std::string data_dir = Path("data");  // Holds GU.el from above.
+
+  // Explicit DataSource: the real 4-vertex graph, regardless of scale.
+  graph::DataSource source;
+  source.data_dir = data_dir;
+  source.cache_dir = Path("cache");
+  const graph::Csr& real = graph::LoadOrGenerateDataset("GU", 512, source);
+  CHECK(real.num_vertices() == 4);
+  const graph::Csr& real_again =
+      graph::LoadOrGenerateDataset("GU", 8192, source);
+  CHECK(&real_again == &real);  // Scale is ignored for real graphs.
+
+  // Symbols without an edge list fall back to the generated analog.
+  const graph::Csr& analog_fallback =
+      graph::LoadOrGenerateDataset("ML", 16384, source);
+  CHECK(analog_fallback.num_vertices() > 1000);
+
+  // Empty DataSource: always the analog, even for GU.
+  const graph::Csr& analog =
+      graph::LoadOrGenerateDataset("GU", 16384, graph::DataSource());
+  CHECK(analog.num_vertices() > 1000);
+
+  // The env-driven overload picks up EMOGI_DATA_DIR/EMOGI_CACHE_DIR.
+  CHECK(::setenv("EMOGI_DATA_DIR", data_dir.c_str(), 1) == 0);
+  CHECK(::setenv("EMOGI_CACHE_DIR", Path("cache").c_str(), 1) == 0);
+  const graph::Csr& via_env = graph::LoadOrGenerateDataset("GU", 16384);
+  CHECK(via_env.num_vertices() == 4);
+  CHECK(::unsetenv("EMOGI_DATA_DIR") == 0);
+  CHECK(::unsetenv("EMOGI_CACHE_DIR") == 0);
+  const graph::Csr& env_off = graph::LoadOrGenerateDataset("GU", 16384);
+  CHECK(env_off.num_vertices() > 1000);
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  char dir_template[] = "/tmp/emogi_csr_cache_XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  emogi::g_dir = dir;
+  emogi::TestRoundTrip();
+  emogi::TestRejectsBadFiles();
+  emogi::TestIngestAndRegeneration();
+  emogi::TestLoadOrGenerateSeam();
+  std::printf("test_csr_cache: OK\n");
+  return 0;
+}

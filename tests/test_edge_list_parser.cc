@@ -1,0 +1,184 @@
+// Edge-list parser edge cases: comments, blank lines, duplicate edges,
+// self-loops, out-of-order vertex ids, optional weight columns, CRLF,
+// truncated files, and chunk-boundary handling in the streaming reader.
+
+#include <cstdio>
+#include <string>
+
+#include "io/edge_list.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+graph::Csr MustParse(const std::string& text, bool directed,
+                     io::EdgeListStats* stats = nullptr) {
+  graph::Csr csr;
+  std::string error;
+  const bool ok = io::ParseEdgeListText(text.data(), text.size(), directed,
+                                        "t", &csr, stats, &error);
+  if (!ok) std::fprintf(stderr, "unexpected parse error: %s\n", error.c_str());
+  CHECK(ok);
+  std::string validate_error;
+  CHECK(csr.Validate(&validate_error));
+  return csr;
+}
+
+std::string MustFail(const std::string& text, bool directed = true) {
+  graph::Csr csr;
+  std::string error;
+  CHECK(!io::ParseEdgeListText(text.data(), text.size(), directed, "t", &csr,
+                               nullptr, &error));
+  CHECK(!error.empty());
+  return error;
+}
+
+void TestBasicDirected() {
+  const graph::Csr csr = MustParse("0 1\n1 2\n2 0\n", /*directed=*/true);
+  CHECK(csr.num_vertices() == 3);
+  CHECK(csr.num_edges() == 3);
+  CHECK(csr.directed());
+  CHECK(csr.Degree(0) == 1);
+  CHECK(csr.Neighbor(csr.NeighborBegin(0)) == 1);
+  CHECK(csr.name() == "t");
+}
+
+void TestUndirectedMirrors() {
+  // One undirected edge yields both arcs; "1 0" and "0 1" are the same
+  // edge and must dedup before mirroring.
+  io::EdgeListStats stats;
+  const graph::Csr csr =
+      MustParse("0 1\n1 0\n1 2\n", /*directed=*/false, &stats);
+  CHECK(csr.num_vertices() == 3);
+  CHECK(csr.num_edges() == 4);  // 0-1 and 1-2, both directions.
+  CHECK(stats.duplicate_edges == 1);
+  CHECK(csr.Degree(1) == 2);
+  CHECK(!csr.directed());
+}
+
+void TestCommentsAndBlanks() {
+  io::EdgeListStats stats;
+  const graph::Csr csr = MustParse(
+      "# SNAP-style comment\n"
+      "% Matrix-Market-style comment\n"
+      "// C-style comment\n"
+      "\n"
+      "   \t\n"
+      "0 1\n"
+      "  1 2\n"  // Leading whitespace.
+      "2 0\r\n"  // CRLF.
+      "\t# indented comment\n",
+      /*directed=*/true, &stats);
+  CHECK(csr.num_edges() == 3);
+  CHECK(stats.comment_lines == 4);
+  CHECK(stats.blank_lines == 2);
+  CHECK(stats.lines == 9);
+}
+
+void TestDuplicatesAndSelfLoops() {
+  io::EdgeListStats stats;
+  const graph::Csr csr = MustParse("0 1\n0 1\n0 1\n3 3\n1 2\n",
+                                   /*directed=*/true, &stats);
+  CHECK(stats.accepted_edges == 5);
+  CHECK(stats.duplicate_edges == 2);
+  CHECK(stats.self_loops == 1);
+  CHECK(csr.num_edges() == 2);
+  // The self-loop's endpoint still counts toward the vertex universe.
+  CHECK(csr.num_vertices() == 4);
+  CHECK(csr.Degree(3) == 0);
+}
+
+void TestOutOfOrderIds() {
+  const graph::Csr csr = MustParse("9 3\n0 9\n5 0\n", /*directed=*/true);
+  CHECK(csr.num_vertices() == 10);
+  CHECK(csr.num_edges() == 3);
+  CHECK(csr.Degree(9) == 1);
+  CHECK(csr.Degree(7) == 0);
+}
+
+void TestOptionalWeightColumn() {
+  const graph::Csr csr = MustParse("0 1 10\n1 2 3\n", /*directed=*/true);
+  CHECK(csr.num_edges() == 2);
+  CHECK(csr.num_vertices() == 3);  // The weight is not a vertex id.
+}
+
+void TestFinalLineWithoutNewline() {
+  const graph::Csr csr = MustParse("0 1\n1 2", /*directed=*/true);
+  CHECK(csr.num_edges() == 2);
+}
+
+void TestMalformedInputs() {
+  // Truncated mid-line: source id but no destination.
+  CHECK(MustFail("0 1\n2").find("line 2") != std::string::npos);
+  CHECK(MustFail("0 1\n2 ").find("destination") != std::string::npos);
+  MustFail("0\n");
+  MustFail("a b\n");
+  MustFail("0 x\n");
+  MustFail("0 1 2 3\n");       // Too many columns.
+  MustFail("1 -2\n");          // Negative ids are not ids.
+  MustFail("0 1.5\n");         // Floats are not ids.
+  MustFail("4294967295 0\n");  // Id + 1 would overflow VertexId.
+  MustFail("99999999999999999999 0\n");
+  MustFail("");                // No edges at all.
+  MustFail("# only comments\n\n");
+  MustFail("3 3\n");           // Only a self-loop: still zero edges.
+}
+
+void TestRejectsNonTextInput() {
+  // A newline-free blob (binary data, a gzipped file renamed to .el)
+  // must fail with a bounded error, not buffer the whole input.
+  const std::string blob(100000, 'x');
+  graph::Csr csr;
+  std::string error;
+  CHECK(!io::ParseEdgeListText(blob.data(), blob.size(), true, "t", &csr,
+                               nullptr, &error));
+  CHECK(error.find("longer than") != std::string::npos);
+}
+
+void TestStreamingChunkBoundaries() {
+  // Write a file whose lines straddle every possible chunk boundary by
+  // using a tiny chunk size; the result must match the in-memory parse.
+  const std::string text =
+      "# header\n0 17\n17 3\n3 999\n999 0\n\n42 43 7\n";
+  const char* path = "/tmp/emogi_test_edge_list.el";
+  std::FILE* file = std::fopen(path, "wb");
+  CHECK(file != nullptr);
+  CHECK(std::fwrite(text.data(), 1, text.size(), file) == text.size());
+  CHECK(std::fclose(file) == 0);
+
+  const graph::Csr expected = MustParse(text, /*directed=*/true);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{1} << 20}) {
+    graph::Csr csr;
+    std::string error;
+    CHECK(io::ParseEdgeListFile(path, /*directed=*/true, "t", &csr, nullptr,
+                                &error, chunk));
+    CHECK(csr.offsets() == expected.offsets());
+    CHECK(csr.neighbors() == expected.neighbors());
+  }
+  std::remove(path);
+
+  graph::Csr csr;
+  std::string error;
+  CHECK(!io::ParseEdgeListFile("/nonexistent/x.el", true, "t", &csr, nullptr,
+                               &error));
+  CHECK(error.find("cannot open") != std::string::npos);
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  emogi::TestBasicDirected();
+  emogi::TestUndirectedMirrors();
+  emogi::TestCommentsAndBlanks();
+  emogi::TestDuplicatesAndSelfLoops();
+  emogi::TestOutOfOrderIds();
+  emogi::TestOptionalWeightColumn();
+  emogi::TestFinalLineWithoutNewline();
+  emogi::TestMalformedInputs();
+  emogi::TestRejectsNonTextInput();
+  emogi::TestStreamingChunkBoundaries();
+  std::printf("test_edge_list_parser: OK\n");
+  return 0;
+}

@@ -23,12 +23,17 @@ void TestDefaults() {
   SetEnv("EMOGI_SCALE", nullptr);
   SetEnv("EMOGI_SOURCES", nullptr);
   SetEnv("EMOGI_THREADS", nullptr);
+  SetEnv("EMOGI_DATA_DIR", nullptr);
+  SetEnv("EMOGI_CACHE_DIR", nullptr);
   const bench::BenchOptions options = bench::BenchOptions::FromEnv();
   CHECK(options.scale == 512);
   CHECK(options.sources == 4);
   // Default thread count: hardware_concurrency, clamped >= 1.
   CHECK(options.threads == runtime::ResolveThreadCount(0));
   CHECK(options.threads >= 1);
+  // Default data source: generated analogs, cache next to the data.
+  CHECK(options.data.data_dir.empty());
+  CHECK(options.data.cache_dir.empty());
 }
 
 void TestValidValues() {
@@ -59,6 +64,30 @@ void TestGarbageKeepsDefaults() {
   SetEnv("EMOGI_THREADS", "1025");
   CHECK(bench::BenchOptions::FromEnv().threads ==
         runtime::ResolveThreadCount(0));
+  SetEnv("EMOGI_THREADS", nullptr);
+}
+
+void TestDataSourceParsing() {
+  // EMOGI_DATA_DIR must name an existing directory; anything else is
+  // rejected with a warning and the generated-analog default kept.
+  SetEnv("EMOGI_DATA_DIR", "/nonexistent/emogi-data");
+  CHECK(bench::BenchOptions::FromEnv().data.data_dir.empty());
+  SetEnv("EMOGI_DATA_DIR", "");
+  CHECK(bench::BenchOptions::FromEnv().data.data_dir.empty());
+  // A file is not a directory.
+  SetEnv("EMOGI_DATA_DIR", "/proc/self/status");
+  CHECK(bench::BenchOptions::FromEnv().data.data_dir.empty());
+  SetEnv("EMOGI_DATA_DIR", "/tmp");
+  CHECK(bench::BenchOptions::FromEnv().data.data_dir == "/tmp");
+  SetEnv("EMOGI_DATA_DIR", nullptr);
+
+  // EMOGI_CACHE_DIR is created on demand, so it only has to be a
+  // non-empty string here.
+  SetEnv("EMOGI_CACHE_DIR", "");
+  CHECK(bench::BenchOptions::FromEnv().data.cache_dir.empty());
+  SetEnv("EMOGI_CACHE_DIR", "/tmp/emogi-cache");
+  CHECK(bench::BenchOptions::FromEnv().data.cache_dir == "/tmp/emogi-cache");
+  SetEnv("EMOGI_CACHE_DIR", nullptr);
 }
 
 }  // namespace
@@ -68,6 +97,7 @@ int main() {
   emogi::TestDefaults();
   emogi::TestValidValues();
   emogi::TestGarbageKeepsDefaults();
+  emogi::TestDataSourceParsing();
   std::printf("test_env_parsing: OK\n");
   return 0;
 }
