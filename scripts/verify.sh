@@ -36,3 +36,10 @@ echo
 echo "=== smoke: bench_fig09 on real fixture edge lists ==="
 EMOGI_DATA_DIR=build/fixtures EMOGI_CACHE_DIR=build/fixtures/emogi-cache \
   EMOGI_SCALE=4096 ./build/bench_fig09_bfs_speedup
+
+echo
+echo "=== multi-GPU sanity: 1-vs-4-device parity and speedup ==="
+# --selfcheck exits nonzero unless the 1-device run is byte-identical to
+# the single-device engine and zero-copy speedup is monotonically
+# non-decreasing from 1 to 4 devices on at least two dataset symbols.
+EMOGI_SCALE=4096 ./build/bench_fig13_multigpu_scaling --selfcheck

@@ -42,6 +42,22 @@ double RequestHistogram::Fraction(std::uint32_t bytes) const {
                : 0.0;
 }
 
+bool operator==(const RequestHistogram& a, const RequestHistogram& b) {
+  for (int i = 0; i < 5; ++i) {
+    if (a.counts_[i] != b.counts_[i]) return false;
+  }
+  return true;
+}
+
+bool operator==(const TraversalStats& a, const TraversalStats& b) {
+  return a.total_time_ns == b.total_time_ns && a.wire_ns == b.wire_ns &&
+         a.latency_ns == b.latency_ns && a.compute_ns == b.compute_ns &&
+         a.fault_ns == b.fault_ns && a.bytes_moved == b.bytes_moved &&
+         a.dataset_bytes == b.dataset_bytes &&
+         a.page_faults == b.page_faults && a.kernels == b.kernels &&
+         a.requests == b.requests;
+}
+
 AggregateStats AggregateStats::Summarize(
     const std::vector<TraversalStats>& runs) {
   AggregateStats aggregate;

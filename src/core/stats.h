@@ -21,10 +21,15 @@ class RequestHistogram {
   // Fraction of requests of exactly `bytes` bytes (0 when empty).
   double Fraction(std::uint32_t bytes) const;
 
+  friend bool operator==(const RequestHistogram& a,
+                         const RequestHistogram& b);
+
  private:
   static int BucketIndex(std::uint32_t bytes);
   std::uint64_t counts_[5] = {0, 0, 0, 0, 0};  // 32, 64, 96, 128, other.
 };
+
+bool operator==(const RequestHistogram& a, const RequestHistogram& b);
 
 // Per-run (one BFS/SSSP/CC execution) simulated measurements.
 struct TraversalStats {
@@ -49,6 +54,15 @@ struct TraversalStats {
                              : 0.0;
   }
 };
+
+// Exact (bitwise for the doubles) equality over every field -- the
+// determinism and single-vs-multi-device parity gates all compare
+// through this one definition, so a new field added here is checked
+// everywhere at once.
+bool operator==(const TraversalStats& a, const TraversalStats& b);
+inline bool operator!=(const TraversalStats& a, const TraversalStats& b) {
+  return !(a == b);
+}
 
 // Means over a sweep of runs (e.g. one BFS per source).
 struct AggregateStats {

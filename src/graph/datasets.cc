@@ -59,6 +59,19 @@ const DatasetRecipe& GetRecipe(const std::string& symbol) {
   std::abort();
 }
 
+// Emits `message` on stderr once per distinct message per process.
+// FromEnv() runs on every env-overload dataset load, so a bench sweeping
+// configs would otherwise repeat the same rejection warning dozens of
+// times (the per-symbol fallback warnings below dedup the same way via
+// `fallbacks`).
+void WarnOnce(const std::string& message) {
+  static std::mutex* mutex = new std::mutex();
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  if (!warned->insert(message).second) return;
+  std::fputs(message.c_str(), stderr);
+}
+
 }  // namespace
 
 const std::vector<std::string>& AllDatasetSymbols() {
@@ -92,19 +105,17 @@ DataSource DataSource::FromEnv() {
   if (const char* dir = std::getenv("EMOGI_DATA_DIR")) {
     struct stat st {};
     if (dir[0] == '\0' || ::stat(dir, &st) != 0 || !S_ISDIR(st.st_mode)) {
-      std::fprintf(stderr,
-                   "warning: ignoring EMOGI_DATA_DIR='%s' (not an existing "
-                   "directory); using generated analogs\n",
-                   dir);
+      WarnOnce(std::string("warning: ignoring EMOGI_DATA_DIR='") + dir +
+               "' (not an existing directory); using generated analogs\n");
     } else {
       source.data_dir = dir;
     }
   }
   if (const char* dir = std::getenv("EMOGI_CACHE_DIR")) {
     if (dir[0] == '\0') {
-      std::fprintf(stderr,
-                   "warning: ignoring empty EMOGI_CACHE_DIR (cache goes "
-                   "next to the data)\n");
+      WarnOnce(
+          "warning: ignoring empty EMOGI_CACHE_DIR (cache goes next to "
+          "the data)\n");
     } else {
       source.cache_dir = dir;
     }

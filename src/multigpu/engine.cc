@@ -1,0 +1,38 @@
+#include "multigpu/engine.h"
+
+#include <utility>
+
+namespace emogi::multigpu {
+
+MultiDeviceTraversal::MultiDeviceTraversal(const graph::Csr& csr,
+                                           const core::EmogiConfig& config,
+                                           const MultiGpuConfig& multi)
+    : csr_(csr), config_(config), multi_(multi) {}
+
+MultiDeviceTraversal::BfsResult MultiDeviceTraversal::Bfs(
+    graph::VertexId source) const {
+  core::BfsPolicy policy(csr_, source);
+  BfsResult result;
+  result.stats = RunMultiDeviceEngine(csr_, config_, multi_, policy);
+  result.levels = std::move(policy.levels());
+  return result;
+}
+
+MultiDeviceTraversal::SsspResult MultiDeviceTraversal::Sssp(
+    graph::VertexId source) const {
+  core::SsspPolicy policy(csr_, source);
+  SsspResult result;
+  result.stats = RunMultiDeviceEngine(csr_, config_, multi_, policy);
+  result.distances = std::move(policy.distances());
+  return result;
+}
+
+MultiDeviceTraversal::CcResult MultiDeviceTraversal::Cc() const {
+  core::CcPolicy policy(csr_);
+  CcResult result;
+  result.stats = RunMultiDeviceEngine(csr_, config_, multi_, policy);
+  result.labels = std::move(policy.labels());
+  return result;
+}
+
+}  // namespace emogi::multigpu

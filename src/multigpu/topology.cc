@@ -1,0 +1,50 @@
+#include "multigpu/topology.h"
+
+#include <algorithm>
+
+namespace emogi::multigpu {
+
+LinkTopology::LinkTopology(const LinkTopologyConfig& config,
+                           const sim::PcieLinkConfig& link)
+    : config_(config), link_(link) {}
+
+double LinkTopology::ExchangeNs(
+    const std::vector<std::uint64_t>& egress_bytes,
+    const std::vector<std::uint64_t>& ingress_bytes) const {
+  const double bulk_gbps = link_.PeakBulkBandwidth();  // bytes per ns.
+  double slowest_link_ns = 0;
+  std::uint64_t root_bytes = 0;
+  for (std::size_t d = 0; d < egress_bytes.size(); ++d) {
+    const std::uint64_t link_bytes = egress_bytes[d] + ingress_bytes[d];
+    slowest_link_ns = std::max(
+        slowest_link_ns, static_cast<double>(link_bytes) / bulk_gbps);
+    root_bytes += link_bytes;  // Each byte crosses the root twice in total
+                               // (once as egress, once as ingress), and
+                               // both crossings are in these sums.
+  }
+  const double root_ns = static_cast<double>(root_bytes) /
+                         (bulk_gbps * config_.root_complex_links);
+  return std::max(slowest_link_ns, root_ns);
+}
+
+double LinkTopology::RoundNs(const std::vector<core::KernelCost>& kernels,
+                             const std::vector<std::uint64_t>& egress_bytes,
+                             const std::vector<std::uint64_t>& ingress_bytes,
+                             double* exchange_ns_out) const {
+  double slowest_kernel_ns = 0;
+  double aggregate_wire_ns = 0;
+  for (const core::KernelCost& kernel : kernels) {
+    slowest_kernel_ns = std::max(slowest_kernel_ns, kernel.total_ns);
+    aggregate_wire_ns += kernel.wire_ns;
+  }
+  // The root complex serializes the devices' combined wire occupancy at
+  // `root_complex_links` times one link's rate. With one device this is
+  // wire_ns / links <= total_ns, so the max leaves the single-link
+  // kernel cost untouched.
+  const double root_ns = aggregate_wire_ns / config_.root_complex_links;
+  const double exchange_ns = ExchangeNs(egress_bytes, ingress_bytes);
+  if (exchange_ns_out != nullptr) *exchange_ns_out = exchange_ns;
+  return std::max(slowest_kernel_ns, root_ns) + exchange_ns;
+}
+
+}  // namespace emogi::multigpu

@@ -1,0 +1,75 @@
+// Interconnect model for N simulated devices. Each device keeps the
+// dedicated PCIe link of the single-GPU model (sim/pcie.h), so figure
+// 12's per-link arithmetic is unchanged; what this layer adds is the
+// *shared* part of the fabric and the boundary exchange:
+//
+//   * Root complex: all device links funnel through the host's root
+//     complex, whose aggregate capacity is `root_complex_links` times
+//     one device link. Below that many devices the links are
+//     independent; beyond it concurrent wire occupancy serializes, which
+//     is what bends the 8-GPU scaling curve.
+//   * Boundary exchange: after each round the devices ship the frontier
+//     vertices they discovered but do not own (device -> host -> owner).
+//     Records move at bulk (cudaMemcpy-like) bandwidth and occupy the
+//     sender's link, the receiver's link, and the root complex.
+//
+// With one device the model degenerates exactly to the single-link
+// numbers: no exchange records exist and the root complex is never the
+// binding constraint, so RoundNs returns the device's kernel cost
+// bit-for-bit.
+
+#ifndef EMOGI_MULTIGPU_TOPOLOGY_H_
+#define EMOGI_MULTIGPU_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accountant.h"
+#include "sim/pcie.h"
+
+namespace emogi::multigpu {
+
+struct LinkTopologyConfig {
+  // Aggregate root-complex capacity in units of one device link's
+  // bandwidth. 4.0 models a host whose root complex feeds four x16
+  // links at full rate (typical DGX-class PCIe fan-out); 8 devices on
+  // such a host contend 2:1.
+  double root_complex_links = 4.0;
+  // Bytes per boundary-exchange record: a 4-byte vertex id plus an
+  // 8-byte payload (BFS level / SSSP distance / CC label slot).
+  std::uint32_t exchange_record_bytes = 12;
+};
+
+class LinkTopology {
+ public:
+  LinkTopology(const LinkTopologyConfig& config,
+               const sim::PcieLinkConfig& link);
+
+  const LinkTopologyConfig& config() const { return config_; }
+
+  // Wire time of the boundary exchange: every device moves its egress
+  // plus ingress bytes over its own link at bulk bandwidth, and the root
+  // complex carries every byte twice (up to the host, down to the
+  // owner). Returns the binding constraint.
+  double ExchangeNs(const std::vector<std::uint64_t>& egress_bytes,
+                    const std::vector<std::uint64_t>& ingress_bytes) const;
+
+  // Simulated duration of one round: the devices run their kernels
+  // concurrently on their own links (slowest device binds), the root
+  // complex bounds the devices' aggregate wire occupancy, and the
+  // boundary exchange runs after the kernels complete (the synchronous
+  // exchange of the paper's multi-GPU BFS; overlap is a known gap).
+  // `kernels[d]` must be zero-initialized for devices idle this round.
+  double RoundNs(const std::vector<core::KernelCost>& kernels,
+                 const std::vector<std::uint64_t>& egress_bytes,
+                 const std::vector<std::uint64_t>& ingress_bytes,
+                 double* exchange_ns_out) const;
+
+ private:
+  LinkTopologyConfig config_;
+  sim::PcieTimingModel link_;
+};
+
+}  // namespace emogi::multigpu
+
+#endif  // EMOGI_MULTIGPU_TOPOLOGY_H_

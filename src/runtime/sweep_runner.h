@@ -9,11 +9,8 @@
 #define EMOGI_RUNTIME_SWEEP_RUNNER_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <type_traits>
-#include <utility>
 #include <vector>
 
 #include "runtime/thread_pool.h"
@@ -35,6 +32,10 @@ class SweepRunner {
   auto Run(std::size_t count, Fn fn)
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
     using Result = std::invoke_result_t<Fn&, std::size_t>;
+    // Workers write disjoint indices with no lock, which needs real
+    // elements: vector<bool> packs bits and adjacent writes would race.
+    static_assert(!std::is_same_v<Result, bool>,
+                  "SweepRunner::Run cannot return bool; wrap it in a struct");
     std::vector<Result> results(count);
     if (count == 0) return results;
     const int workers = static_cast<int>(
@@ -45,19 +46,7 @@ class SweepRunner {
     }
 
     ThreadPool pool(workers);
-    std::mutex mutex;
-    std::condition_variable all_done;
-    std::size_t remaining = count;
-    for (std::size_t i = 0; i < count; ++i) {
-      pool.Submit([&, i] {
-        Result result = fn(i);
-        std::lock_guard<std::mutex> lock(mutex);
-        results[i] = std::move(result);
-        if (--remaining == 0) all_done.notify_one();
-      });
-    }
-    std::unique_lock<std::mutex> lock(mutex);
-    all_done.wait(lock, [&] { return remaining == 0; });
+    RunBatch(&pool, count, [&](std::size_t i) { results[i] = fn(i); });
     return results;
   }
 

@@ -1,8 +1,11 @@
 // BenchOptions::FromEnv must take clean positive integers and reject
 // garbage loudly (keeping the defaults) instead of silently clamping.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_util.h"
 #include "runtime/thread_pool.h"
@@ -90,6 +93,49 @@ void TestDataSourceParsing() {
   SetEnv("EMOGI_CACHE_DIR", nullptr);
 }
 
+// The EMOGI_DATA_DIR rejection warning fires once per process per
+// distinct value: FromEnv() reparses on every env-overload dataset load,
+// and benches sweeping configs used to repeat the identical warning on
+// each one.
+void TestDataDirWarningOnce() {
+  SetEnv("EMOGI_DATA_DIR", "/nonexistent/emogi-warn-once");
+  char capture_path[] = "/tmp/emogi_env_warn_XXXXXX";
+  const int capture_fd = ::mkstemp(capture_path);
+  CHECK(capture_fd >= 0);
+  const int saved_stderr = ::dup(2);
+  std::fflush(stderr);
+  ::dup2(capture_fd, 2);
+  bench::BenchOptions::FromEnv();
+  bench::BenchOptions::FromEnv();
+  bench::BenchOptions::FromEnv();
+  std::fflush(stderr);
+  ::dup2(saved_stderr, 2);
+  ::close(saved_stderr);
+  ::close(capture_fd);
+  SetEnv("EMOGI_DATA_DIR", nullptr);
+
+  std::string captured;
+  {
+    std::FILE* file = std::fopen(capture_path, "rb");
+    CHECK(file != nullptr);
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      captured.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  ::unlink(capture_path);
+
+  const std::string needle = "ignoring EMOGI_DATA_DIR";
+  std::size_t count = 0;
+  for (std::size_t pos = captured.find(needle); pos != std::string::npos;
+       pos = captured.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  CHECK(count == 1);
+}
+
 }  // namespace
 }  // namespace emogi
 
@@ -98,6 +144,7 @@ int main() {
   emogi::TestValidValues();
   emogi::TestGarbageKeepsDefaults();
   emogi::TestDataSourceParsing();
+  emogi::TestDataDirWarningOnce();
   std::printf("test_env_parsing: OK\n");
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "core/traversal.h"
@@ -19,19 +20,9 @@ namespace {
 
 void CheckStatsIdentical(const core::TraversalStats& a,
                          const core::TraversalStats& b) {
-  CHECK(a.total_time_ns == b.total_time_ns);
-  CHECK(a.wire_ns == b.wire_ns);
-  CHECK(a.latency_ns == b.latency_ns);
-  CHECK(a.compute_ns == b.compute_ns);
-  CHECK(a.fault_ns == b.fault_ns);
-  CHECK(a.bytes_moved == b.bytes_moved);
-  CHECK(a.dataset_bytes == b.dataset_bytes);
-  CHECK(a.page_faults == b.page_faults);
-  CHECK(a.kernels == b.kernels);
-  CHECK(a.requests.TotalRequests() == b.requests.TotalRequests());
-  for (const std::uint32_t bytes : {32u, 64u, 96u, 128u}) {
-    CHECK(a.requests.Count(bytes) == b.requests.Count(bytes));
-  }
+  // One shared exact-equality definition (core/stats.cc) backs every
+  // parity/determinism gate, so new fields are checked everywhere.
+  CHECK(a == b);
 }
 
 void TestThreadPoolRunsEverything() {
@@ -61,6 +52,41 @@ void TestRunnerOrdering() {
   for (std::size_t i = 0; i < out.size(); ++i) CHECK(out[i] == i * i);
   runtime::SweepRunner empty_ok(4);
   CHECK(empty_ok.Run(0, [](std::size_t i) { return i; }).empty());
+}
+
+// The degenerate cases must stay inline: a single-worker SweepRunner
+// batch and a null-pool RunBatch both execute every job on the calling
+// thread, spawning nothing (EMOGI_THREADS=1 pays no pool overhead and is
+// single-threaded under TSan by construction).
+void TestSingleWorkerRunsInline() {
+  const std::thread::id caller = std::this_thread::get_id();
+
+  runtime::SweepRunner runner(1);
+  const std::vector<std::thread::id> sweep_ids =
+      runner.Run(8, [](std::size_t) { return std::this_thread::get_id(); });
+  for (const std::thread::id id : sweep_ids) CHECK(id == caller);
+
+  std::vector<std::thread::id> batch_ids(8);
+  runtime::RunBatch(nullptr, 8, [&](std::size_t i) {
+    batch_ids[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id id : batch_ids) CHECK(id == caller);
+
+  // A one-job batch runs inline even with a live pool.
+  runtime::ThreadPool pool(2);
+  std::thread::id one_job_id;
+  runtime::RunBatch(&pool, 1, [&](std::size_t) {
+    one_job_id = std::this_thread::get_id();
+  });
+  CHECK(one_job_id == caller);
+}
+
+// RunBatch on a real pool runs every job and publishes its writes.
+void TestRunBatchOnPool() {
+  runtime::ThreadPool pool(4);
+  std::vector<std::size_t> out(100, 0);
+  runtime::RunBatch(&pool, 100, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < 100; ++i) CHECK(out[i] == i * i);
 }
 
 // The process-lifetime dataset cache must serve concurrent workers: all
@@ -107,6 +133,8 @@ int main() {
   emogi::TestThreadPoolRunsEverything();
   emogi::TestResolveThreadCount();
   emogi::TestRunnerOrdering();
+  emogi::TestSingleWorkerRunsInline();
+  emogi::TestRunBatchOnPool();
   emogi::TestConcurrentDatasetCache();
   emogi::TestSweepDeterminism();
   std::printf("test_sweep_runner: OK\n");
