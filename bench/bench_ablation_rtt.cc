@@ -1,51 +1,9 @@
-// Ablation: sensitivity of zero-copy BFS to the PCIe round-trip time.
-// The paper measured 1.0-1.6us GPU<->FPGA; host memory sits in the same
-// range. Small requests (Naive) are latency-bound and degrade linearly
-// with RTT; maximal 128B requests keep the wire saturated until much
-// higher latencies.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/ablation_rtt.cc and the
+// registry-driven `emogi_bench run ablation_rtt` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Ablation: PCIe round-trip time",
-              "BFS bandwidth (GB/s) on GK vs RTT, Naive vs Merged+Aligned");
-
-  const graph::Csr& csr = LoadDataset("GK", options);
-  const auto sources = Sources(csr, options);
-
-  PrintRow("RTT (us)", {"Naive", "Merged+Aligned"}, 12, 16);
-  for (const double rtt_us : {0.8, 1.0, 1.3, 1.6, 2.0, 3.0}) {
-    std::vector<std::string> cells;
-    for (const bool aligned : {false, true}) {
-      core::EmogiConfig config =
-          aligned ? core::EmogiConfig::MergedAligned()
-                  : core::EmogiConfig::Naive();
-      config.device.scale_factor = options.scale;
-      config.device.link.round_trip_ns = rtt_us * 1000.0;
-      core::Traversal traversal(csr, config);
-      const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
-      cells.push_back(FormatDouble(agg.mean_bandwidth_gbps));
-    }
-    PrintRow(FormatDouble(rtt_us, 1), cells, 12, 16);
-  }
-  std::printf(
-      "\nexpected: Naive collapses with RTT (tag-window bound); "
-      "Merged+Aligned holds near the 12.3 GB/s wire bound\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("ablation_rtt", argc, argv);
 }

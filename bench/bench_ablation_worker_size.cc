@@ -1,52 +1,9 @@
-// Ablation (section 4.3.1): EMOGI fixes the worker size to a full
-// 32-thread warp. Smaller workers could reduce idle threads for
-// low-degree vertices when data is GPU-resident, but over a constrained
-// interconnect they shrink the PCIe requests and lose bandwidth. This
-// sweep measures BFS with 4/8/16/32-lane workers.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/ablation_worker_size.cc and the
+// registry-driven `emogi_bench run ablation_worker_size` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Ablation: worker size",
-              "BFS time and request mix vs worker lanes (Merged+Aligned)");
-
-  PrintRow("graph/lanes", {"time", "requests", "128B%", "GB/s"}, 16, 12);
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-    for (const int lanes : {4, 8, 16, 32}) {
-      core::EmogiConfig config = core::EmogiConfig::MergedAligned();
-      config.device.scale_factor = options.scale;
-      config.worker_lanes = lanes;
-      core::Traversal traversal(csr, config);
-      const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
-      PrintRow(symbol + "/" + std::to_string(lanes),
-               {FormatTimeMs(agg.mean_time_ns),
-                FormatCount(static_cast<std::uint64_t>(agg.mean_requests)),
-                FormatDouble(100 * agg.requests.Fraction(128), 1),
-                FormatDouble(agg.mean_bandwidth_gbps)},
-               16, 12);
-    }
-  }
-  std::printf(
-      "\npaper (section 4.3.1): a full 32-thread warp per vertex is best "
-      "out-of-memory; smaller workers make smaller requests and lose "
-      "effective bandwidth\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("ablation_worker_size", argc, argv);
 }

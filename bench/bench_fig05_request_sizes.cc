@@ -1,62 +1,9 @@
-// Figure 5: distribution of PCIe read request sizes during BFS for the
-// Naive / Merged / Merged+Aligned implementations on every graph.
-//
-// Paper result: Naive is ~100% 32-byte requests; Merged raises the
-// 128-byte share to ~40% on average (46.7% on ML); +Aligned pushes most
-// graphs far higher (1.86x more 128B requests on GK) while GU improves
-// only 1.25x (uniformly low degrees leave no room to amortize the
-// alignment fix).
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig05_request_sizes.cc and the
+// registry-driven `emogi_bench run fig05` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 5",
-              "PCIe read request size distribution in BFS (% of requests)");
-
-  struct Impl {
-    const char* name;
-    core::EmogiConfig config;
-  };
-  std::vector<Impl> impls = {
-      {"Naive", core::EmogiConfig::Naive()},
-      {"Merged", core::EmogiConfig::Merged()},
-      {"Merged+Aligned", core::EmogiConfig::MergedAligned()},
-  };
-  for (Impl& impl : impls) impl.config.device.scale_factor = options.scale;
-
-  PrintRow("graph/impl", {"32B%", "64B%", "96B%", "128B%"}, 22, 9);
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-    for (const Impl& impl : impls) {
-      core::Traversal traversal(csr, impl.config);
-      const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
-      PrintRow(std::string(symbol) + " " + impl.name,
-               {FormatDouble(100 * agg.requests.Fraction(32), 1),
-                FormatDouble(100 * agg.requests.Fraction(64), 1),
-                FormatDouble(100 * agg.requests.Fraction(96), 1),
-                FormatDouble(100 * agg.requests.Fraction(128), 1)},
-               22, 9);
-    }
-  }
-  std::printf(
-      "\npaper: Naive ~100%% 32B; Merged ~40%% 128B avg (46.7%% ML); "
-      "+Aligned improves GK 1.86x but GU only 1.25x\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig05", argc, argv);
 }

@@ -1,44 +1,9 @@
-// Figure 6: cumulative fraction of edges by vertex degree for every
-// evaluation graph (degree axis cut at 96, as in the paper).
-//
-// Paper result: GU's edges all belong to degree 16-48 vertices; ML has
-// nearly no edges below degree ~96; the web graphs and GK have long tails.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig06_degree_cdf.cc and the
+// registry-driven `emogi_bench run fig06` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "graph/degree_stats.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 6", "Number-of-edges CDF vs vertex degree");
-
-  const std::vector<graph::EdgeIndex> degrees = {0,  8,  16, 24, 32, 40,
-                                                 48, 64, 80, 96};
-  std::vector<std::string> header;
-  for (const auto d : degrees) header.push_back("d<=" + std::to_string(d));
-  PrintRow("graph", header, 8, 8);
-
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto cdf = graph::EdgeCdfByDegree(csr, degrees);
-    std::vector<std::string> cells;
-    for (const double p : cdf) cells.push_back(FormatDouble(p, 2));
-    PrintRow(symbol, cells, 8, 8);
-  }
-  std::printf(
-      "\npaper: GU rises 0->1 entirely between degree 16 and 48; ML stays "
-      "~0 through degree 96; GK/FS/SK/UK5 have long tails\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig06", argc, argv);
 }

@@ -1,66 +1,9 @@
-// Figure 7: total number of PCIe read requests sent during BFS, per graph
-// and zero-copy implementation.
-//
-// Paper result: the Merged optimization cuts PCIe requests by up to 83.3%
-// vs Naive; +Aligned removes up to a further 28.8% (ML benefits most:
-// long lists amortize the one-time alignment fix).
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig07_request_counts.cc and the
+// registry-driven `emogi_bench run fig07` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 7", "Total PCIe read requests during BFS (per source"
-                          " average)");
-
-  struct Impl {
-    const char* name;
-    core::EmogiConfig config;
-  };
-  std::vector<Impl> impls = {
-      {"Naive", core::EmogiConfig::Naive()},
-      {"Merged", core::EmogiConfig::Merged()},
-      {"Merged+Aligned", core::EmogiConfig::MergedAligned()},
-  };
-  for (Impl& impl : impls) impl.config.device.scale_factor = options.scale;
-
-  PrintRow("graph", {"Naive", "Merged", "+Aligned", "M vs N", "A vs M"}, 8,
-           11);
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-    std::vector<double> requests;
-    for (const Impl& impl : impls) {
-      core::Traversal traversal(csr, impl.config);
-      const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
-      requests.push_back(agg.mean_requests);
-    }
-    PrintRow(symbol,
-             {FormatCount(static_cast<std::uint64_t>(requests[0])),
-              FormatCount(static_cast<std::uint64_t>(requests[1])),
-              FormatCount(static_cast<std::uint64_t>(requests[2])),
-              "-" + FormatDouble(100 * (1 - requests[1] / requests[0]), 1) +
-                  "%",
-              "-" + FormatDouble(100 * (1 - requests[2] / requests[1]), 1) +
-                  "%"},
-             8, 11);
-  }
-  std::printf(
-      "\npaper: Merged cuts requests by up to 83.3%% vs Naive; +Aligned by "
-      "up to a further 28.8%% (ML)\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig07", argc, argv);
 }

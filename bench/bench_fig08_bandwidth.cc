@@ -1,63 +1,9 @@
-// Figure 8: average PCIe bandwidth while executing BFS, per graph and
-// implementation, against the cudaMemcpy peak.
-//
-// Paper result (PCIe 3.0 x16): cudaMemcpy peak 12.3 GB/s; UVM ~9 GB/s;
-// Naive ~4.7 GB/s; Merged ~11 GB/s; Merged+Aligned adds 0.5-1 GB/s more,
-// nearly saturating the link. GU benefits least from alignment.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig08_bandwidth.cc and the
+// registry-driven `emogi_bench run fig08` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/stats.h"
-#include "core/traversal.h"
-#include "sim/pcie.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 8",
-              "Average PCIe 3.0 x16 bandwidth (GB/s) during BFS");
-
-  struct Impl {
-    const char* name;
-    core::EmogiConfig config;
-  };
-  std::vector<Impl> impls = {
-      {"UVM", core::EmogiConfig::Uvm()},
-      {"Naive", core::EmogiConfig::Naive()},
-      {"Merged", core::EmogiConfig::Merged()},
-      {"Merged+Aligned", core::EmogiConfig::MergedAligned()},
-  };
-  for (Impl& impl : impls) impl.config.device.scale_factor = options.scale;
-
-  const sim::PcieTimingModel pcie(impls[0].config.device.link);
-  std::printf("cudaMemcpy peak: %.2f GB/s\n\n",
-              pcie.PeakBulkBandwidth());
-
-  PrintRow("graph", {"UVM", "Naive", "Merged", "M+Aligned"});
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-    std::vector<std::string> cells;
-    for (const Impl& impl : impls) {
-      core::Traversal traversal(csr, impl.config);
-      const auto agg =
-          core::AggregateStats::Summarize(traversal.BfsSweep(sources, options.threads));
-      cells.push_back(FormatDouble(agg.mean_bandwidth_gbps));
-    }
-    PrintRow(symbol, cells);
-  }
-  std::printf(
-      "\npaper: UVM ~9, Naive ~4.7, Merged ~11, M+Aligned ~11.5-12 GB/s\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig08", argc, argv);
 }

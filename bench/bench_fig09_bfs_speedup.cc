@@ -1,71 +1,9 @@
-// Figure 9: BFS performance of Naive / Merged / Merged+Aligned zero-copy
-// implementations normalized to the UVM baseline, per graph.
-//
-// Paper result: Naive averages 0.73x of UVM, Merged 3.24x, Merged+Aligned
-// 3.56x; SK shows the smallest zero-copy win because it almost fits in
-// GPU memory.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig09_bfs_speedup.cc and the
+// registry-driven `emogi_bench run fig09` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 9",
-              "BFS speedup over UVM baseline (scale 1/" +
-                  std::to_string(options.scale) + ", " +
-                  std::to_string(options.sources) + " sources)");
-
-  struct Impl {
-    const char* name;
-    core::EmogiConfig config;
-  };
-  std::vector<Impl> impls = {
-      {"UVM", core::EmogiConfig::Uvm()},
-      {"Naive", core::EmogiConfig::Naive()},
-      {"Merged", core::EmogiConfig::Merged()},
-      {"Merged+Aligned", core::EmogiConfig::MergedAligned()},
-  };
-  for (Impl& impl : impls) impl.config.device.scale_factor = options.scale;
-
-  PrintRow("graph", {"UVM", "Naive", "Merged", "M+Aligned"});
-  std::vector<double> sums(impls.size(), 0.0);
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-
-    std::vector<double> mean_ns;
-    for (const Impl& impl : impls) {
-      core::Traversal traversal(csr, impl.config);
-      mean_ns.push_back(MeanTimeNs(traversal.BfsSweep(sources, options.threads)));
-    }
-    std::vector<std::string> cells;
-    for (std::size_t i = 0; i < impls.size(); ++i) {
-      const double speedup = mean_ns[i] > 0 ? mean_ns[0] / mean_ns[i] : 0.0;
-      sums[i] += speedup;
-      cells.push_back(FormatDouble(speedup) + "x");
-    }
-    PrintRow(symbol, cells);
-  }
-  std::vector<std::string> avg;
-  const double dataset_count =
-      static_cast<double>(graph::AllDatasetSymbols().size());
-  for (const double s : sums) {
-    avg.push_back(FormatDouble(s / dataset_count) + "x");
-  }
-  PrintRow("Avg", avg);
-  std::printf("\npaper: Naive 0.73x, Merged 3.24x, Merged+Aligned 3.56x on average\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig09", argc, argv);
 }

@@ -1,52 +1,9 @@
-// Figure 10: I/O read amplification (host bytes transferred / dataset
-// size) of the UVM baseline vs EMOGI (Merged+Aligned) during BFS.
-//
-// Paper result: UVM reaches up to 5.16x (FS); ML (2.28x) and SK (1.14x)
-// are the exceptions (very high average degree, and almost-fits-in-memory
-// respectively). EMOGI never exceeds 1.31x.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig10_amplification.cc and the
+// registry-driven `emogi_bench run fig10` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/stats.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 10",
-              "I/O read amplification during BFS (bytes moved / dataset)");
-
-  core::EmogiConfig uvm = core::EmogiConfig::Uvm();
-  core::EmogiConfig emogi = core::EmogiConfig::MergedAligned();
-  uvm.device.scale_factor = options.scale;
-  emogi.device.scale_factor = options.scale;
-
-  PrintRow("graph", {"UVM", "EMOGI"});
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-
-    core::Traversal uvm_traversal(csr, uvm);
-    core::Traversal emogi_traversal(csr, emogi);
-    const auto uvm_agg =
-        core::AggregateStats::Summarize(uvm_traversal.BfsSweep(sources, options.threads));
-    const auto emogi_agg =
-        core::AggregateStats::Summarize(emogi_traversal.BfsSweep(sources, options.threads));
-    PrintRow(symbol, {FormatDouble(uvm_agg.mean_amplification),
-                      FormatDouble(emogi_agg.mean_amplification)});
-  }
-  std::printf(
-      "\npaper: UVM up to 5.16x (FS), 2.28x ML, 1.14x SK; EMOGI <= 1.31x\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig10", argc, argv);
 }

@@ -1,78 +1,9 @@
-// Figure 11: UVM vs EMOGI (Merged+Aligned) across all three traversal
-// applications -- SSSP, BFS, CC. CC runs only on the undirected graphs.
-//
-// Paper result: EMOGI is 2.92x faster than UVM on average; CC shows the
-// smallest speedups because traversing from all roots streams the edge
-// list, giving UVM spatial locality.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig11_all_apps.cc and the
+// registry-driven `emogi_bench run fig11` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 11",
-              "Normalized performance, UVM vs EMOGI, per application");
-
-  core::EmogiConfig uvm = core::EmogiConfig::Uvm();
-  core::EmogiConfig emogi = core::EmogiConfig::MergedAligned();
-  uvm.device.scale_factor = options.scale;
-  emogi.device.scale_factor = options.scale;
-
-  double sum = 0;
-  int count = 0;
-  PrintRow("app/graph", {"UVM", "EMOGI"}, 14, 10);
-
-  // SSSP and BFS on all graphs, per-source averaged.
-  for (const char* app : {"SSSP", "BFS"}) {
-    for (const std::string& symbol : graph::AllDatasetSymbols()) {
-      const graph::Csr& csr = LoadDataset(symbol, options);
-      const auto sources = Sources(csr, options);
-      core::Traversal uvm_traversal(csr, uvm);
-      core::Traversal emogi_traversal(csr, emogi);
-      const bool sssp = std::string(app) == "SSSP";
-      const double uvm_ns =
-          MeanTimeNs(sssp ? uvm_traversal.SsspSweep(sources, options.threads)
-                          : uvm_traversal.BfsSweep(sources, options.threads));
-      const double emogi_ns =
-          MeanTimeNs(sssp ? emogi_traversal.SsspSweep(sources, options.threads)
-                          : emogi_traversal.BfsSweep(sources, options.threads));
-      const double speedup = uvm_ns / emogi_ns;
-      sum += speedup;
-      ++count;
-      PrintRow(std::string(app) + " " + symbol,
-               {"1.00x", FormatDouble(speedup) + "x"}, 14, 10);
-    }
-  }
-
-  // CC on the undirected graphs (no sources; one deterministic run).
-  for (const std::string& symbol : graph::UndirectedDatasetSymbols()) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    core::Traversal uvm_traversal(csr, uvm);
-    core::Traversal emogi_traversal(csr, emogi);
-    const double uvm_ns = uvm_traversal.Cc().stats.total_time_ns;
-    const double emogi_ns = emogi_traversal.Cc().stats.total_time_ns;
-    const double speedup = uvm_ns / emogi_ns;
-    sum += speedup;
-    ++count;
-    PrintRow(std::string("CC ") + symbol,
-             {"1.00x", FormatDouble(speedup) + "x"}, 14, 10);
-  }
-
-  PrintRow("Average", {"1.00x", FormatDouble(sum / count) + "x"}, 14, 10);
-  std::printf("\npaper: EMOGI 2.92x faster than UVM on average; CC shows "
-              "the smallest speedups\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig11", argc, argv);
 }

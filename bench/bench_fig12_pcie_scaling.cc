@@ -1,93 +1,9 @@
-// Figure 12: UVM and EMOGI on the A100 with the root port in PCIe 3.0 vs
-// PCIe 4.0 mode, normalized to UVM + PCIe 3.0 per workload.
-//
-// Paper result: EMOGI scales 1.9x on average moving to PCIe 4.0 (nearly
-// the 2x link ratio); UVM scales only 1.53x because the single-threaded
-// page-fault handler cannot feed the faster link. Averages: UVM4 1.53,
-// EMOGI3 2.85, EMOGI4 5.42.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/fig12_pcie_scaling.cc and the
+// registry-driven `emogi_bench run fig12` is the primary entry point.
 
-#include <cstdio>
-#include <vector>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "core/traversal.h"
-#include "sim/device.h"
-
-namespace emogi::bench {
-namespace {
-
-struct Workload {
-  std::string app;
-  std::string symbol;
-};
-
-double RunOne(const graph::Csr& csr, const core::EmogiConfig& config,
-              const std::vector<graph::VertexId>& sources,
-              const std::string& app, int threads) {
-  core::Traversal traversal(csr, config);
-  if (app == "SSSP") return MeanTimeNs(traversal.SsspSweep(sources, threads));
-  if (app == "BFS") return MeanTimeNs(traversal.BfsSweep(sources, threads));
-  return traversal.Cc().stats.total_time_ns;
-}
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Figure 12",
-              "A100: PCIe 3.0 vs 4.0 scaling, normalized to UVM+3.0");
-
-  std::vector<core::EmogiConfig> configs(4);
-  configs[0] = core::EmogiConfig::Uvm();            // UVM + PCIe 3.0.
-  configs[1] = core::EmogiConfig::MergedAligned();  // EMOGI + PCIe 3.0.
-  configs[2] = core::EmogiConfig::Uvm();            // UVM + PCIe 4.0.
-  configs[3] = core::EmogiConfig::MergedAligned();  // EMOGI + PCIe 4.0.
-  for (int i = 0; i < 4; ++i) {
-    configs[i].device = sim::GpuDeviceConfig::A100(
-        i < 2 ? sim::PcieGeneration::kGen3 : sim::PcieGeneration::kGen4);
-    configs[i].device.scale_factor = options.scale;
-  }
-
-  std::vector<Workload> workloads;
-  for (const char* app : {"SSSP", "BFS"}) {
-    for (const std::string& symbol : graph::AllDatasetSymbols()) {
-      workloads.push_back({app, symbol});
-    }
-  }
-  for (const std::string& symbol : graph::UndirectedDatasetSymbols()) {
-    workloads.push_back({"CC", symbol});
-  }
-
-  PrintRow("workload", {"UVM+3.0", "EMOGI+3.0", "UVM+4.0", "EMOGI+4.0"}, 12,
-           11);
-  std::vector<double> sums(4, 0);
-  for (const Workload& w : workloads) {
-    const graph::Csr& csr = LoadDataset(w.symbol, options);
-    const auto sources = Sources(csr, options);
-    std::vector<double> times;
-    for (const auto& config : configs) {
-      times.push_back(RunOne(csr, config, sources, w.app, options.threads));
-    }
-    std::vector<std::string> cells;
-    for (int i = 0; i < 4; ++i) {
-      const double speedup = times[0] / times[i];
-      sums[i] += speedup;
-      cells.push_back(FormatDouble(speedup) + "x");
-    }
-    PrintRow(w.app + " " + w.symbol, cells, 12, 11);
-  }
-  std::vector<std::string> avg;
-  for (const double s : sums) {
-    avg.push_back(FormatDouble(s / workloads.size()) + "x");
-  }
-  PrintRow("Average", avg, 12, 11);
-  std::printf(
-      "\npaper averages: UVM+4.0 1.53x, EMOGI+3.0 2.85x, EMOGI+4.0 5.42x "
-      "(EMOGI scales ~1.9x with the link, UVM only ~1.53x)\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("fig12", argc, argv);
 }

@@ -1,45 +1,9 @@
-// Table 2: the evaluation datasets -- paper-scale originals next to the
-// scaled analogs actually traversed by the benches.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/table2_datasets.cc and the
+// registry-driven `emogi_bench run table2` is the primary entry point.
 
-#include <cstdio>
+#include "bench/driver.h"
 
-#include "bench_util.h"
-#include "graph/degree_stats.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Table 2", "Graph datasets (originals vs 1/" +
-                             std::to_string(options.scale) +
-                             " scaled analogs)");
-
-  PrintRow("sym", {"paper |V|", "paper |E|", "paper GB", "|V|", "|E|",
-                   "MB", "avg deg", "directed"},
-           6, 11);
-  for (const std::string& symbol : graph::AllDatasetSymbols()) {
-    const graph::DatasetInfo& info = graph::GetDatasetInfo(symbol);
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    PrintRow(symbol,
-             {FormatDouble(info.paper_vertices_m, 1) + "M",
-              FormatDouble(info.paper_edges_b, 2) + "B",
-              FormatDouble(info.paper_edge_gb, 1),
-              FormatCount(csr.num_vertices()), FormatCount(csr.num_edges()),
-              FormatDouble(csr.EdgeListBytes() / 1e6, 1),
-              FormatDouble(csr.AverageDegree(), 1),
-              csr.directed() ? "yes" : "no"},
-             6, 11);
-  }
-  std::printf("\nScaled V100 memory: %.1f MB (16GB / %llu)\n",
-              16.0 * (1ull << 30) / options.scale / 1e6,
-              static_cast<unsigned long long>(options.scale));
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("table2", argc, argv);
 }

@@ -1,114 +1,9 @@
-// Table 3: EMOGI vs the state-of-the-art out-of-memory GPU systems --
-// HALO (on a Titan Xp 12GB, BFS only, as in the paper) and Subway (on the
-// V100, with 4-byte edge elements, BFS/SSSP/CC).
-//
-// Paper result: EMOGI is 1.34-3.19x faster than HALO and 1.57-4.73x
-// faster than Subway. Subway could not run GU (out-of-memory errors) or
-// ML (> 2^32 edges); the paper's rows are reproduced below.
+// Thin wrapper kept so existing scripts and ctest smoke targets keep
+// working; the experiment lives in bench/experiments/table3_competitors.cc and the
+// registry-driven `emogi_bench run table3` is the primary entry point.
 
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
+#include "bench/driver.h"
 
-#include "baselines/halo.h"
-#include "baselines/subway.h"
-#include "bench_util.h"
-#include "core/traversal.h"
-#include "sim/device.h"
-
-namespace emogi::bench {
-namespace {
-
-void Run() {
-  const BenchOptions options = BenchOptions::FromEnv();
-  PrintHeader("Table 3",
-              "EMOGI vs HALO (Titan Xp) and Subway (V100, 4B edge type)");
-
-  PrintRow("work/app/graph", {"theirs", "EMOGI", "speedup"}, 22, 12);
-
-  // --- HALO rows: BFS on ML, FS, SK, UK5 with a Titan Xp. ------------------
-  core::EmogiConfig emogi_xp = core::EmogiConfig::MergedAligned();
-  emogi_xp.device = sim::GpuDeviceConfig::TitanXp();
-  emogi_xp.device.scale_factor = options.scale;
-  core::EmogiConfig halo_config = core::EmogiConfig::Uvm();
-  halo_config.device = emogi_xp.device;
-
-  for (const std::string& symbol : {std::string("ML"), std::string("FS"),
-                                    std::string("SK"), std::string("UK5")}) {
-    const graph::Csr& csr = LoadDataset(symbol, options);
-    const auto sources = Sources(csr, options);
-    baselines::Halo halo(csr, halo_config);
-    core::Traversal emogi(csr, emogi_xp);
-
-    const double halo_ns = MeanTimeOverSourcesNs(
-        sources, options.threads,
-        [&](graph::VertexId s) { return halo.Bfs(s).stats.total_time_ns; });
-    const double emogi_ns = MeanTimeOverSourcesNs(
-        sources, options.threads,
-        [&](graph::VertexId s) { return emogi.Bfs(s).stats.total_time_ns; });
-    PrintRow("HALO BFS " + symbol,
-             {FormatTimeMs(halo_ns), FormatTimeMs(emogi_ns),
-              FormatDouble(halo_ns / emogi_ns) + "x"},
-             22, 12);
-  }
-
-  // --- Subway rows: 4-byte edge elements on the V100. ----------------------
-  baselines::SubwayConfig subway_config;
-  subway_config.device.scale_factor = options.scale;
-  core::EmogiConfig emogi_v100 = core::EmogiConfig::MergedAligned();
-  emogi_v100.device.scale_factor = options.scale;
-
-  struct Row {
-    const char* app;
-    const char* symbol;
-  };
-  // The paper's Subway rows: SSSP/BFS on GK, FS, SK, UK5; CC on GK, FS.
-  const Row rows[] = {
-      {"SSSP", "GK"}, {"SSSP", "FS"}, {"SSSP", "SK"}, {"SSSP", "UK5"},
-      {"BFS", "GK"},  {"BFS", "FS"},  {"BFS", "SK"},  {"BFS", "UK5"},
-      {"CC", "GK"},   {"CC", "FS"},
-  };
-  for (const Row& row : rows) {
-    graph::Csr csr = LoadDataset(row.symbol, options);
-    csr.set_edge_elem_bytes(4);  // Subway supports only 4-byte types.
-    const auto sources = Sources(csr, options);
-    baselines::Subway subway(csr, subway_config);
-    core::Traversal emogi(csr, emogi_v100);
-
-    const std::string app(row.app);
-    double subway_ns = 0;
-    double emogi_ns = 0;
-    if (app == "SSSP") {
-      subway_ns = MeanTimeOverSourcesNs(sources, options.threads,
-                                        [&](graph::VertexId s) {
-                                          return subway.Sssp(s).stats.total_time_ns;
-                                        });
-      emogi_ns = MeanTimeNs(emogi.SsspSweep(sources, options.threads));
-    } else if (app == "BFS") {
-      subway_ns = MeanTimeOverSourcesNs(sources, options.threads,
-                                        [&](graph::VertexId s) {
-                                          return subway.Bfs(s).stats.total_time_ns;
-                                        });
-      emogi_ns = MeanTimeNs(emogi.BfsSweep(sources, options.threads));
-    } else {
-      subway_ns = subway.Cc().stats.total_time_ns;
-      emogi_ns = emogi.Cc().stats.total_time_ns;
-    }
-    PrintRow("Subway " + app + " " + row.symbol,
-             {FormatTimeMs(subway_ns), FormatTimeMs(emogi_ns),
-              FormatDouble(subway_ns / emogi_ns) + "x"},
-             22, 12);
-  }
-  std::printf(
-      "\npaper: EMOGI beats HALO 1.34-3.19x and Subway 1.57-4.73x; Subway "
-      "cannot run GU (OOM) or ML (>2^32 edges)\n");
-}
-
-}  // namespace
-}  // namespace emogi::bench
-
-int main() {
-  emogi::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("table3", argc, argv);
 }

@@ -1,0 +1,9 @@
+// The one experiment CLI: `emogi_bench list` enumerates every
+// registered figure/table experiment; `emogi_bench run <id>...` runs
+// them and renders structured reports (aligned table, JSON, or CSV).
+
+#include "bench/driver.h"
+
+int main(int argc, char** argv) {
+  return emogi::bench::DriverMain(argc, argv);
+}

@@ -1,0 +1,67 @@
+// Figure 8: average PCIe bandwidth while executing BFS, per graph and
+// implementation, against the cudaMemcpy peak.
+//
+// Paper result (PCIe 3.0 x16): cudaMemcpy peak 12.3 GB/s; UVM ~9 GB/s;
+// Naive ~4.7 GB/s; Merged ~11 GB/s; Merged+Aligned adds 0.5-1 GB/s more,
+// nearly saturating the link. GU benefits least from alignment.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/format.h"
+#include "bench/registry.h"
+#include "bench/workload.h"
+#include "core/stats.h"
+#include "core/traversal.h"
+#include "sim/pcie.h"
+
+namespace emogi::bench {
+namespace {
+
+int Run(const RunContext& ctx, Report* report) {
+  const Options& options = ctx.options;
+  report->Banner("Figure 8",
+                 "Average PCIe 3.0 x16 bandwidth (GB/s) during BFS");
+
+  const std::vector<core::AccessMode>& modes = core::AllAccessModes();
+  const std::vector<core::EmogiConfig> impls =
+      ScaledConfigs(modes, options.scale);
+
+  const sim::PcieTimingModel pcie(impls[0].device.link);
+  char line[64];
+  std::snprintf(line, sizeof(line), "cudaMemcpy peak: %.2f GB/s\n\n",
+                pcie.PeakBulkBandwidth());
+  report->Text(line);
+  report->Metric("", "", "memcpy_peak_gbps", pcie.PeakBulkBandwidth(), "GB/s");
+
+  report->Row("graph", {"UVM", "Naive", "Merged", "M+Aligned"});
+  for (const std::string& symbol : SelectedSymbols(options)) {
+    const graph::Csr& csr = LoadDataset(symbol, options);
+    const auto sources = Sources(csr, options);
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < impls.size(); ++i) {
+      core::Traversal traversal(csr, impls[i]);
+      const auto agg = core::AggregateStats::Summarize(
+          traversal.BfsSweep(sources, options.threads));
+      cells.push_back(FormatDouble(agg.mean_bandwidth_gbps));
+      report->Metric(symbol, core::ToString(modes[i]), "mean_bandwidth_gbps",
+                     agg.mean_bandwidth_gbps, "GB/s");
+    }
+    report->Row(symbol, cells);
+  }
+  report->Text(
+      "\npaper: UVM ~9, Naive ~4.7, Merged ~11, M+Aligned ~11.5-12 GB/s\n");
+  return 0;
+}
+
+EMOGI_REGISTER_EXPERIMENT(fig08, {
+    /*id=*/"fig08",
+    /*title=*/"Fig 8: average PCIe bandwidth during BFS",
+    /*tags=*/{"figure", "bfs", "pcie"},
+    /*has_selfcheck=*/false,
+    /*run=*/&Run,
+});
+
+}  // namespace
+}  // namespace emogi::bench

@@ -1,0 +1,76 @@
+// Figure 9: BFS performance of Naive / Merged / Merged+Aligned zero-copy
+// implementations normalized to the UVM baseline, per graph.
+//
+// Paper result: Naive averages 0.73x of UVM, Merged 3.24x, Merged+Aligned
+// 3.56x; SK shows the smallest zero-copy win because it almost fits in
+// GPU memory.
+
+#include <string>
+#include <vector>
+
+#include "bench/format.h"
+#include "bench/registry.h"
+#include "bench/workload.h"
+#include "core/traversal.h"
+
+namespace emogi::bench {
+namespace {
+
+int Run(const RunContext& ctx, Report* report) {
+  const Options& options = ctx.options;
+  report->Banner("Figure 9",
+                 "BFS speedup over UVM baseline (scale 1/" +
+                     std::to_string(options.scale) + ", " +
+                     std::to_string(options.sources) + " sources)");
+
+  const std::vector<core::AccessMode>& modes = core::AllAccessModes();
+  const std::vector<core::EmogiConfig> impls =
+      ScaledConfigs(modes, options.scale);
+
+  report->Row("graph", {"UVM", "Naive", "Merged", "M+Aligned"});
+  std::vector<double> sums(impls.size(), 0.0);
+  const std::vector<std::string> symbols = SelectedSymbols(options);
+  for (const std::string& symbol : symbols) {
+    const graph::Csr& csr = LoadDataset(symbol, options);
+    const auto sources = Sources(csr, options);
+
+    std::vector<double> mean_ns;
+    for (const core::EmogiConfig& impl : impls) {
+      core::Traversal traversal(csr, impl);
+      mean_ns.push_back(
+          MeanTimeNs(traversal.BfsSweep(sources, options.threads)));
+    }
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < impls.size(); ++i) {
+      const double speedup = mean_ns[i] > 0 ? mean_ns[0] / mean_ns[i] : 0.0;
+      sums[i] += speedup;
+      cells.push_back(FormatDouble(speedup) + "x");
+      report->Metric(symbol, core::ToString(modes[i]), "speedup_vs_uvm",
+                     speedup, "x");
+    }
+    report->Row(symbol, cells);
+  }
+  std::vector<std::string> avg;
+  const double dataset_count = static_cast<double>(symbols.size());
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    const double mean = dataset_count > 0 ? sums[i] / dataset_count : 0.0;
+    avg.push_back(FormatDouble(mean) + "x");
+    report->Metric("Avg", core::ToString(modes[i]), "speedup_vs_uvm", mean,
+                   "x");
+  }
+  report->Row("Avg", avg);
+  report->Text(
+      "\npaper: Naive 0.73x, Merged 3.24x, Merged+Aligned 3.56x on average\n");
+  return 0;
+}
+
+EMOGI_REGISTER_EXPERIMENT(fig09, {
+    /*id=*/"fig09",
+    /*title=*/"Fig 9: BFS speedup over UVM, per graph",
+    /*tags=*/{"figure", "bfs", "speedup"},
+    /*has_selfcheck=*/false,
+    /*run=*/&Run,
+});
+
+}  // namespace
+}  // namespace emogi::bench

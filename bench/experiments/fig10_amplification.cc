@@ -1,0 +1,61 @@
+// Figure 10: I/O read amplification (host bytes transferred / dataset
+// size) of the UVM baseline vs EMOGI (Merged+Aligned) during BFS.
+//
+// Paper result: UVM reaches up to 5.16x (FS); ML (2.28x) and SK (1.14x)
+// are the exceptions (very high average degree, and almost-fits-in-memory
+// respectively). EMOGI never exceeds 1.31x.
+
+#include <string>
+#include <vector>
+
+#include "bench/format.h"
+#include "bench/registry.h"
+#include "bench/workload.h"
+#include "core/stats.h"
+#include "core/traversal.h"
+
+namespace emogi::bench {
+namespace {
+
+int Run(const RunContext& ctx, Report* report) {
+  const Options& options = ctx.options;
+  report->Banner("Figure 10",
+                 "I/O read amplification during BFS (bytes moved / dataset)");
+
+  const std::vector<core::EmogiConfig> impls = ScaledConfigs(
+      {core::AccessMode::kUvm, core::AccessMode::kMergedAligned},
+      options.scale);
+
+  report->Row("graph", {"UVM", "EMOGI"});
+  for (const std::string& symbol : SelectedSymbols(options)) {
+    const graph::Csr& csr = LoadDataset(symbol, options);
+    const auto sources = Sources(csr, options);
+
+    core::Traversal uvm_traversal(csr, impls[0]);
+    core::Traversal emogi_traversal(csr, impls[1]);
+    const auto uvm_agg = core::AggregateStats::Summarize(
+        uvm_traversal.BfsSweep(sources, options.threads));
+    const auto emogi_agg = core::AggregateStats::Summarize(
+        emogi_traversal.BfsSweep(sources, options.threads));
+    report->Row(symbol, {FormatDouble(uvm_agg.mean_amplification),
+                         FormatDouble(emogi_agg.mean_amplification)});
+    report->Metric(symbol, "UVM", "read_amplification",
+                   uvm_agg.mean_amplification, "x");
+    report->Metric(symbol, "EMOGI", "read_amplification",
+                   emogi_agg.mean_amplification, "x");
+  }
+  report->Text(
+      "\npaper: UVM up to 5.16x (FS), 2.28x ML, 1.14x SK; EMOGI <= 1.31x\n");
+  return 0;
+}
+
+EMOGI_REGISTER_EXPERIMENT(fig10, {
+    /*id=*/"fig10",
+    /*title=*/"Fig 10: I/O read amplification, UVM vs EMOGI",
+    /*tags=*/{"figure", "bfs", "uvm"},
+    /*has_selfcheck=*/false,
+    /*run=*/&Run,
+});
+
+}  // namespace
+}  // namespace emogi::bench

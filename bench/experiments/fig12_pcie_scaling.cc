@@ -1,0 +1,104 @@
+// Figure 12: UVM and EMOGI on the A100 with the root port in PCIe 3.0 vs
+// PCIe 4.0 mode, normalized to UVM + PCIe 3.0 per workload.
+//
+// Paper result: EMOGI scales 1.9x on average moving to PCIe 4.0 (nearly
+// the 2x link ratio); UVM scales only 1.53x because the single-threaded
+// page-fault handler cannot feed the faster link. Averages: UVM4 1.53,
+// EMOGI3 2.85, EMOGI4 5.42.
+
+#include <string>
+#include <vector>
+
+#include "bench/format.h"
+#include "bench/registry.h"
+#include "bench/workload.h"
+#include "core/traversal.h"
+#include "sim/device.h"
+
+namespace emogi::bench {
+namespace {
+
+struct Workload {
+  std::string app;
+  std::string symbol;
+};
+
+double RunOne(const graph::Csr& csr, const core::EmogiConfig& config,
+              const std::vector<graph::VertexId>& sources,
+              const std::string& app, int threads) {
+  core::Traversal traversal(csr, config);
+  if (app == "SSSP") return MeanTimeNs(traversal.SsspSweep(sources, threads));
+  if (app == "BFS") return MeanTimeNs(traversal.BfsSweep(sources, threads));
+  return traversal.Cc().stats.total_time_ns;
+}
+
+int Run(const RunContext& ctx, Report* report) {
+  const Options& options = ctx.options;
+  report->Banner("Figure 12",
+                 "A100: PCIe 3.0 vs 4.0 scaling, normalized to UVM+3.0");
+
+  const char* kLabels[] = {"UVM+3.0", "EMOGI+3.0", "UVM+4.0", "EMOGI+4.0"};
+  std::vector<core::EmogiConfig> configs = ScaledConfigs(
+      {core::AccessMode::kUvm, core::AccessMode::kMergedAligned,
+       core::AccessMode::kUvm, core::AccessMode::kMergedAligned},
+      options.scale);
+  for (int i = 0; i < 4; ++i) {
+    configs[i].device = sim::GpuDeviceConfig::A100(
+        i < 2 ? sim::PcieGeneration::kGen3 : sim::PcieGeneration::kGen4);
+    configs[i].device.scale_factor = options.scale;
+  }
+
+  std::vector<Workload> workloads;
+  for (const char* app : {"SSSP", "BFS"}) {
+    for (const std::string& symbol : SelectedSymbols(options)) {
+      workloads.push_back({app, symbol});
+    }
+  }
+  for (const std::string& symbol : SelectedUndirectedSymbols(options)) {
+    workloads.push_back({"CC", symbol});
+  }
+
+  report->Row("workload", {"UVM+3.0", "EMOGI+3.0", "UVM+4.0", "EMOGI+4.0"},
+              12, 11);
+  std::vector<double> sums(4, 0);
+  for (const Workload& w : workloads) {
+    const graph::Csr& csr = LoadDataset(w.symbol, options);
+    const auto sources = Sources(csr, options);
+    std::vector<double> times;
+    for (const auto& config : configs) {
+      times.push_back(RunOne(csr, config, sources, w.app, options.threads));
+    }
+    std::vector<std::string> cells;
+    for (int i = 0; i < 4; ++i) {
+      const double speedup = times[0] / times[i];
+      sums[i] += speedup;
+      cells.push_back(FormatDouble(speedup) + "x");
+      report->Metric(w.symbol, kLabels[i],
+                     LowerCase(w.app) + "_speedup_vs_uvm_gen3", speedup, "x");
+    }
+    report->Row(w.app + " " + w.symbol, cells, 12, 11);
+  }
+  std::vector<std::string> avg;
+  for (int i = 0; i < 4; ++i) {
+    const double mean =
+        workloads.empty() ? 0.0 : sums[i] / static_cast<double>(workloads.size());
+    avg.push_back(FormatDouble(mean) + "x");
+    report->Metric("Avg", kLabels[i], "speedup_vs_uvm_gen3", mean, "x");
+  }
+  report->Row("Average", avg, 12, 11);
+  report->Text(
+      "\npaper averages: UVM+4.0 1.53x, EMOGI+3.0 2.85x, EMOGI+4.0 5.42x "
+      "(EMOGI scales ~1.9x with the link, UVM only ~1.53x)\n");
+  return 0;
+}
+
+EMOGI_REGISTER_EXPERIMENT(fig12, {
+    /*id=*/"fig12",
+    /*title=*/"Fig 12: PCIe 3.0 vs 4.0 scaling on the A100",
+    /*tags=*/{"figure", "pcie", "scaling"},
+    /*has_selfcheck=*/false,
+    /*run=*/&Run,
+});
+
+}  // namespace
+}  // namespace emogi::bench

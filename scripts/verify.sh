@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the ctest suite, then
 # exercise the ingestion subsystem (parser + CSR cache round trip) and
-# smoke the figure-9 bench in both generated-analog and real-data mode.
-# Run from anywhere.
+# route the bench smoke runs and selfchecks through the registry-driven
+# emogi_bench driver (table + schema-versioned JSON reports, generated
+# analogs + real fixture edge lists). Run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,17 +30,25 @@ rm -rf build/fixtures
 ./build/make_fixtures --check build/fixtures
 
 echo
-echo "=== smoke: bench_fig09 at EMOGI_SCALE=4096 (generated analogs) ==="
-EMOGI_SCALE=4096 ./build/bench_fig09_bfs_speedup
+echo "=== experiment registry ==="
+./build/emogi_bench list
 
 echo
-echo "=== smoke: bench_fig09 on real fixture edge lists ==="
-EMOGI_DATA_DIR=build/fixtures EMOGI_CACHE_DIR=build/fixtures/emogi-cache \
-  EMOGI_SCALE=4096 ./build/bench_fig09_bfs_speedup
+echo "=== smoke: fig09 via the driver at --scale 4096 (generated analogs) ==="
+./build/emogi_bench run fig09 --scale 4096
+
+echo
+echo "=== smoke: fig09 JSON report on real fixture edge lists ==="
+./build/emogi_bench run fig09 --scale 4096 --data-dir build/fixtures \
+  --cache-dir build/fixtures/emogi-cache \
+  --format=json --out build/BENCH_fig09.json
+grep -q '"schema": "emogi-bench-report"' build/BENCH_fig09.json
+grep -q '"schema_version": 1' build/BENCH_fig09.json
+echo "build/BENCH_fig09.json: schema-versioned report OK"
 
 echo
 echo "=== multi-GPU sanity: 1-vs-4-device parity and speedup ==="
 # --selfcheck exits nonzero unless the 1-device run is byte-identical to
 # the single-device engine and zero-copy speedup is monotonically
 # non-decreasing from 1 to 4 devices on at least two dataset symbols.
-EMOGI_SCALE=4096 ./build/bench_fig13_multigpu_scaling --selfcheck
+./build/emogi_bench run fig13 --scale 4096 --selfcheck

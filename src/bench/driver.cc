@@ -1,0 +1,273 @@
+#include "bench/driver.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/options.h"
+#include "bench/registry.h"
+#include "bench/sinks.h"
+
+namespace emogi::bench {
+namespace {
+
+constexpr char kRunOptionsHelp[] =
+    "run options:\n"
+    "  --format=table|json|csv  report rendering (default: table)\n"
+    "  --out FILE               write the rendered document to FILE\n"
+    "  --filter sym=SYM[,SYM]   restrict to the named dataset symbols\n"
+    "  --selfcheck              also run the experiment's acceptance gate\n"
+    "  --scale N                dataset/GPU-memory divisor   (env: EMOGI_SCALE)\n"
+    "  --sources N              sources per measurement      (env: EMOGI_SOURCES)\n"
+    "  --threads N              sweep workers                (env: EMOGI_THREADS)\n"
+    "  --data-dir DIR           real edge-list directory     (env: EMOGI_DATA_DIR)\n"
+    "  --cache-dir DIR          binary CSR cache directory   (env: EMOGI_CACHE_DIR)\n"
+    "\n"
+    "Flags override environment values; an invalid value is rejected with\n"
+    "a warning and the previously resolved value kept.\n";
+
+constexpr char kUsageHead[] =
+    "usage: emogi_bench <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list                     list registered experiments\n"
+    "  run <id>... [options]    run experiments and render their reports\n"
+    "\n";
+
+void PrintDriverUsage(std::FILE* stream) {
+  std::fputs(kUsageHead, stream);
+  std::fputs(kRunOptionsHelp, stream);
+}
+
+struct RunFlags {
+  OutputFormat format = OutputFormat::kTable;
+  std::string out;
+  bool selfcheck = false;
+};
+
+bool IsOptionsFlag(const std::string& name) {
+  for (const std::string& known : Options::FlagNames()) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+enum class ParseResult { kOk, kError, kHelp };
+
+// Parses everything after the subcommand. Non-flag arguments land in
+// `positional` (experiment ids for `run`). kError means a malformed
+// command line (unknown flag, missing value) -- a structural error,
+// unlike a bad *value*, which warns and keeps the resolved default.
+// kHelp means --help was seen: print usage and run nothing.
+ParseResult ParseRunArgs(const std::vector<std::string>& args,
+                         std::vector<std::string>* positional,
+                         Options* options, RunFlags* flags) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional->push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (name == "selfcheck") {
+      if (has_value) {
+        std::fprintf(stderr, "emogi_bench: --selfcheck takes no value\n");
+        return ParseResult::kError;
+      }
+      flags->selfcheck = true;
+      continue;
+    }
+    if (name == "help") {
+      return ParseResult::kHelp;
+    }
+    if (name != "format" && name != "out" && !IsOptionsFlag(name)) {
+      std::fprintf(stderr, "emogi_bench: unknown flag --%s\n", name.c_str());
+      return ParseResult::kError;
+    }
+    if (!has_value) {
+      // A following "--..." is the next flag, not this one's value --
+      // consuming it would silently drop that flag (e.g. `--scale
+      // --selfcheck` skipping the selfcheck while exiting 0).
+      if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "emogi_bench: --%s needs a value\n",
+                     name.c_str());
+        return ParseResult::kError;
+      }
+      value = args[++i];
+    }
+    if (name == "format") {
+      ParseOutputFormat(value, &flags->format);  // Warns + keeps on garbage.
+    } else if (name == "out") {
+      flags->out = value;
+    } else {
+      options->Set(name, value);  // Warns + keeps on garbage.
+    }
+  }
+  return ParseResult::kOk;
+}
+
+int RunExperiments(const std::vector<const Experiment*>& experiments,
+                   const Options& options, const RunFlags& flags) {
+  const bool stream_tables =
+      flags.format == OutputFormat::kTable && flags.out.empty();
+  std::vector<Report> reports;
+  int exit_code = 0;
+  for (const Experiment* experiment : experiments) {
+    if (flags.selfcheck && !experiment->has_selfcheck) {
+      std::fprintf(stderr,
+                   "warning: experiment '%s' has no selfcheck; flag ignored\n",
+                   experiment->id.c_str());
+    }
+    Report report;
+    report.id = experiment->id;
+    report.title = experiment->title;
+    report.tags = experiment->tags;
+    report.options = options;
+    report.selfcheck = flags.selfcheck && experiment->has_selfcheck;
+
+    RunContext context;
+    context.options = options;
+    context.selfcheck = report.selfcheck;
+    const int code = experiment->run(context, &report);
+    if (code != 0) exit_code = code;
+
+    if (stream_tables) {
+      const std::string table = RenderTable(report);
+      std::fwrite(table.data(), 1, table.size(), stdout);
+      std::fflush(stdout);
+    } else {
+      reports.push_back(std::move(report));
+    }
+  }
+  if (!stream_tables) {
+    const std::string document = RenderDocument(reports, flags.format);
+    if (flags.out.empty()) {
+      std::fwrite(document.data(), 1, document.size(), stdout);
+    } else {
+      std::FILE* file = std::fopen(flags.out.c_str(), "wb");
+      if (file == nullptr) {
+        std::fprintf(stderr, "emogi_bench: cannot write %s\n",
+                     flags.out.c_str());
+        return 1;
+      }
+      const std::size_t written =
+          std::fwrite(document.data(), 1, document.size(), file);
+      // A short write or failed flush (ENOSPC, I/O error) must not let
+      // a truncated report pass for a valid one.
+      if (std::fclose(file) != 0 || written != document.size()) {
+        std::fprintf(stderr, "emogi_bench: error writing %s\n",
+                     flags.out.c_str());
+        return 1;
+      }
+    }
+  }
+  return exit_code;
+}
+
+int ListExperiments() {
+  for (const Experiment* experiment : Registry::Instance().All()) {
+    std::printf("%-22s  %s", experiment->id.c_str(),
+                experiment->title.c_str());
+    if (!experiment->tags.empty()) {
+      std::string joined;
+      for (const std::string& tag : experiment->tags) {
+        if (!joined.empty()) joined += ",";
+        joined += tag;
+      }
+      std::printf("  [%s]", joined.c_str());
+    }
+    if (experiment->has_selfcheck) std::printf("  (--selfcheck)");
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int DriverMain(int argc, char** argv) {
+  if (argc < 2) {
+    PrintDriverUsage(stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    PrintDriverUsage(stdout);
+    return 0;
+  }
+  if (command == "list") {
+    return ListExperiments();
+  }
+  if (command != "run") {
+    std::fprintf(stderr, "emogi_bench: unknown command '%s'\n\n",
+                 command.c_str());
+    PrintDriverUsage(stderr);
+    return 2;
+  }
+
+  std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> ids;
+  Options options = Options::FromEnv();
+  RunFlags flags;
+  const ParseResult parsed = ParseRunArgs(args, &ids, &options, &flags);
+  if (parsed == ParseResult::kError) return 2;
+  if (parsed == ParseResult::kHelp) {
+    PrintDriverUsage(stdout);
+    return 0;
+  }
+  if (ids.empty()) {
+    std::fprintf(stderr,
+                 "emogi_bench: run needs at least one experiment id "
+                 "(emogi_bench list shows them)\n");
+    return 2;
+  }
+  std::vector<const Experiment*> experiments;
+  for (const std::string& id : ids) {
+    const Experiment* experiment = Registry::Instance().Find(id);
+    if (experiment == nullptr) {
+      std::fprintf(stderr,
+                   "emogi_bench: unknown experiment '%s' (emogi_bench list "
+                   "shows them)\n",
+                   id.c_str());
+      return 2;
+    }
+    experiments.push_back(experiment);
+  }
+  return RunExperiments(experiments, options, flags);
+}
+
+int RunMain(const char* id, int argc, char** argv) {
+  const Experiment* experiment = Registry::Instance().Find(id);
+  if (experiment == nullptr) {
+    std::fprintf(stderr, "emogi_bench: experiment '%s' is not registered\n",
+                 id);
+    return 2;
+  }
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> positional;
+  Options options = Options::FromEnv();
+  RunFlags flags;
+  const ParseResult parsed = ParseRunArgs(args, &positional, &options, &flags);
+  if (parsed == ParseResult::kError) return 2;
+  if (parsed == ParseResult::kHelp) {
+    // Wrapper-specific usage: no subcommands here, just the run flags.
+    std::printf("usage: %s [run options]\n(thin wrapper over `emogi_bench run %s`)\n\n",
+                argv[0], id);
+    std::fputs(kRunOptionsHelp, stdout);
+    return 0;
+  }
+  for (const std::string& stray : positional) {
+    std::fprintf(stderr, "warning: ignoring stray argument '%s'\n",
+                 stray.c_str());
+  }
+  return RunExperiments({experiment}, options, flags);
+}
+
+}  // namespace emogi::bench

@@ -1,0 +1,22 @@
+// Entry points for the one experiment CLI. `DriverMain` is the
+// emogi_bench binary (subcommands: list, run); `RunMain` is what the
+// thin per-figure wrapper binaries call so existing invocations
+// (`bench_fig09_bfs_speedup`, `bench_fig13_multigpu_scaling
+// --selfcheck`, ...) keep working unchanged while gaining the driver's
+// flags.
+
+#ifndef EMOGI_BENCH_DRIVER_H_
+#define EMOGI_BENCH_DRIVER_H_
+
+namespace emogi::bench {
+
+// `emogi_bench <command> ...`. Returns the process exit code.
+int DriverMain(int argc, char** argv);
+
+// Runs the single registered experiment `id` as if by
+// `emogi_bench run <id> <argv[1:]...>` (table to stdout by default).
+int RunMain(const char* id, int argc, char** argv);
+
+}  // namespace emogi::bench
+
+#endif  // EMOGI_BENCH_DRIVER_H_

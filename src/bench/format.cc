@@ -1,0 +1,37 @@
+#include "bench/format.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace emogi::bench {
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatCount(std::uint64_t value) {
+  char buffer[64];
+  if (value >= 10'000'000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", value / 1e6);
+  } else if (value >= 10'000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buffer;
+}
+
+std::string FormatNsAsMs(double ns) { return FormatDouble(ns / 1e6, 3) + "ms"; }
+
+std::string LowerCase(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace emogi::bench

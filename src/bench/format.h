@@ -1,0 +1,25 @@
+// Cell formatting shared by the experiments and the table sink.
+
+#ifndef EMOGI_BENCH_FORMAT_H_
+#define EMOGI_BENCH_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace emogi::bench {
+
+std::string FormatDouble(double value, int decimals = 2);
+std::string FormatCount(std::uint64_t value);
+
+// Renders a duration measured in nanoseconds as a millisecond cell,
+// e.g. 1.5e6 -> "1.500ms". (Replaces the old FormatTimeMs, whose name
+// hid that the parameter was nanoseconds.)
+std::string FormatNsAsMs(double ns);
+
+// ASCII lowercase, for deriving snake_case metric names from display
+// labels like "SSSP".
+std::string LowerCase(const std::string& text);
+
+}  // namespace emogi::bench
+
+#endif  // EMOGI_BENCH_FORMAT_H_

@@ -1,0 +1,168 @@
+#include "bench/options.h"
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/sweep_runner.h"
+
+namespace emogi::bench {
+namespace {
+
+constexpr std::uint64_t kMaxThreads = 1024;
+
+// Parses a positive integer knob no greater than `max`. Returns false
+// (and warns on stderr, leaving the caller's current value in place) on
+// anything that is not a clean in-range positive number -- silent
+// zero-clamping of garbage like EMOGI_SOURCES=abc used to hide typos.
+// `name` is the knob as the user spelled it ("EMOGI_SCALE" or
+// "--scale"), so the warning points at the right surface.
+bool ParsePositive(const char* name, const char* text, std::uint64_t max,
+                   std::uint64_t* value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  // The leading-digit requirement rejects the forms strtoull would
+  // quietly accept: whitespace, '+', and (wrapping!) '-' prefixes.
+  if (!std::isdigit(static_cast<unsigned char>(text[0])) || *end != '\0' ||
+      errno == ERANGE || parsed == 0 || parsed > max) {
+    std::fprintf(
+        stderr,
+        "warning: ignoring %s='%s' (expected a positive integer <= %llu)\n",
+        name, text, static_cast<unsigned long long>(max));
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st {};
+  return !path.empty() && ::stat(path.c_str(), &st) == 0 &&
+         S_ISDIR(st.st_mode);
+}
+
+// Parses "sym=A,B,..." into known dataset symbols. Unknown symbols are
+// individually warned and dropped; an empty result rejects the flag.
+bool ParseFilter(const std::string& value, std::vector<std::string>* symbols) {
+  const std::string prefix = "sym=";
+  if (value.compare(0, prefix.size(), prefix) != 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring --filter '%s' (expected sym=SYM[,SYM...])\n",
+                 value.c_str());
+    return false;
+  }
+  std::vector<std::string> parsed;
+  std::string rest = value.substr(prefix.size());
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string symbol = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    if (symbol.empty()) continue;
+    bool known = false;
+    for (const std::string& s : graph::AllDatasetSymbols()) {
+      known |= (s == symbol);
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "warning: --filter names unknown dataset symbol '%s'; "
+                   "dropping it\n",
+                   symbol.c_str());
+      continue;
+    }
+    parsed.push_back(symbol);
+  }
+  if (parsed.empty()) {
+    std::fprintf(stderr,
+                 "warning: ignoring --filter '%s' (no known symbols left)\n",
+                 value.c_str());
+    return false;
+  }
+  *symbols = std::move(parsed);
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Options::FlagNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "scale", "sources", "threads", "data-dir", "cache-dir", "filter"};
+  return *names;
+}
+
+Options Options::FromEnv() {
+  Options options;
+  std::uint64_t value = 0;
+  if (const char* scale = std::getenv("EMOGI_SCALE")) {
+    if (ParsePositive("EMOGI_SCALE", scale, ~0ull, &value)) {
+      options.scale = value;
+    }
+  }
+  if (const char* sources = std::getenv("EMOGI_SOURCES")) {
+    if (ParsePositive("EMOGI_SOURCES", sources, 0x7fffffffull, &value)) {
+      options.sources = static_cast<int>(value);
+    }
+  }
+  options.threads = runtime::ResolveThreadCount(0);
+  if (const char* threads = std::getenv("EMOGI_THREADS")) {
+    if (ParsePositive("EMOGI_THREADS", threads, kMaxThreads, &value)) {
+      options.threads = static_cast<int>(value);
+    }
+  }
+  options.data = graph::DataSource::FromEnv();
+  return options;
+}
+
+bool Options::Set(const std::string& name, const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (name == "scale") {
+    if (!ParsePositive("--scale", value.c_str(), ~0ull, &parsed)) return false;
+    scale = parsed;
+    return true;
+  }
+  if (name == "sources") {
+    if (!ParsePositive("--sources", value.c_str(), 0x7fffffffull, &parsed)) {
+      return false;
+    }
+    sources = static_cast<int>(parsed);
+    return true;
+  }
+  if (name == "threads") {
+    if (!ParsePositive("--threads", value.c_str(), kMaxThreads, &parsed)) {
+      return false;
+    }
+    threads = static_cast<int>(parsed);
+    return true;
+  }
+  if (name == "data-dir") {
+    if (!IsDirectory(value)) {
+      std::fprintf(stderr,
+                   "warning: ignoring --data-dir '%s' (not an existing "
+                   "directory); keeping the current data source\n",
+                   value.c_str());
+      return false;
+    }
+    data.data_dir = value;
+    return true;
+  }
+  if (name == "cache-dir") {
+    if (value.empty()) {
+      std::fprintf(stderr,
+                   "warning: ignoring empty --cache-dir (cache goes next to "
+                   "the data)\n");
+      return false;
+    }
+    data.cache_dir = value;
+    return true;
+  }
+  if (name == "filter") {
+    return ParseFilter(value, &symbols);
+  }
+  std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+  return false;
+}
+
+}  // namespace emogi::bench

@@ -1,0 +1,61 @@
+// Runtime knobs shared by every experiment, resolved through one path:
+// built-in default < environment < command-line flag. Both overrides are
+// strictly validated -- a bad value is rejected with a warning and the
+// previously resolved value kept, never silently clamped.
+
+#ifndef EMOGI_BENCH_OPTIONS_H_
+#define EMOGI_BENCH_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+
+namespace emogi::bench {
+
+// Environment knobs (each shadowed by the driver flag in parentheses):
+//   EMOGI_SCALE (--scale)      dataset/GPU-memory scale divisor (default
+//                              512, the calibrated value; larger =
+//                              faster, smaller graphs).
+//   EMOGI_SOURCES (--sources)  BFS/SSSP sources averaged per measurement
+//                              (default 4; the paper uses 64).
+//   EMOGI_THREADS (--threads)  sweep workers fanning the per-source runs
+//                              (default: hardware_concurrency, clamped
+//                              >= 1). Results are deterministic at any
+//                              thread count.
+//   EMOGI_DATA_DIR (--data-dir)  directory of real `<symbol>.el` edge
+//                              lists; when a dataset's file exists there
+//                              it is ingested instead of generated (must
+//                              be an existing directory, else the value
+//                              is rejected with a warning).
+//   EMOGI_CACHE_DIR (--cache-dir)  where binary CSR caches for ingested
+//                              graphs live (default:
+//                              "<EMOGI_DATA_DIR>/emogi-cache").
+struct Options {
+  std::uint64_t scale = 512;
+  int sources = 4;
+  int threads = 1;
+  graph::DataSource data;
+  // --filter sym=A,B restriction; empty means every dataset symbol.
+  std::vector<std::string> symbols;
+
+  // Defaults overridden by the environment knobs above.
+  static Options FromEnv();
+
+  // Applies one flag override on top of the current values. `name` is
+  // a long option from FlagNames() without the leading dashes. Returns
+  // false (with a warning on stderr, current value kept) on an unknown
+  // name or a value that would be rejected were it an environment knob.
+  bool Set(const std::string& name, const std::string& value);
+
+  // The long-option names Set accepts ("scale", "sources", "threads",
+  // "data-dir", "cache-dir", "filter") -- the one list the driver's
+  // flag classifier shares, so a new knob is added next to its Set
+  // branch only.
+  static const std::vector<std::string>& FlagNames();
+};
+
+}  // namespace emogi::bench
+
+#endif  // EMOGI_BENCH_OPTIONS_H_

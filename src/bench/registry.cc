@@ -1,0 +1,52 @@
+#include "bench/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace emogi::bench {
+
+Registry& Registry::Instance() {
+  // Function-local static so registration works from any static
+  // initializer regardless of translation-unit order; leaked to dodge
+  // destruction-order issues on exit.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::Register(Experiment experiment) {
+  if (experiment.id.empty() || experiment.run == nullptr) {
+    std::fprintf(stderr, "emogi_bench: experiment registered without %s\n",
+                 experiment.id.empty() ? "an id" : "a run function");
+    std::abort();
+  }
+  if (Find(experiment.id) != nullptr) {
+    std::fprintf(stderr, "emogi_bench: duplicate experiment id '%s'\n",
+                 experiment.id.c_str());
+    std::abort();
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* Registry::Find(const std::string& id) const {
+  for (const Experiment& experiment : experiments_) {
+    if (experiment.id == id) return &experiment;
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> Registry::All() const {
+  std::vector<const Experiment*> all;
+  for (const Experiment& experiment : experiments_) all.push_back(&experiment);
+  std::sort(all.begin(), all.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return a->id < b->id;
+            });
+  return all;
+}
+
+Registrar::Registrar(Experiment experiment) {
+  Registry::Instance().Register(std::move(experiment));
+}
+
+}  // namespace emogi::bench

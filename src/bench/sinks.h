@@ -1,0 +1,33 @@
+// Report renderers. The table sink replays the exact printf stream the
+// historical figure binaries produced; the JSON and CSV sinks emit the
+// typed metric rows plus run metadata (JSON is schema-versioned, see
+// kReportSchemaName/kReportSchemaVersion).
+
+#ifndef EMOGI_BENCH_SINKS_H_
+#define EMOGI_BENCH_SINKS_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+namespace emogi::bench {
+
+enum class OutputFormat { kTable, kJson, kCsv };
+
+// Parses "table" / "json" / "csv". Returns false (warning on stderr,
+// `format` untouched) on anything else.
+bool ParseOutputFormat(const std::string& text, OutputFormat* format);
+
+std::string RenderTable(const Report& report);
+std::string RenderJson(const Report& report);
+
+// Multi-report documents: tables concatenate; CSV shares one header
+// line; JSON is the report object itself for one report and a
+// schema-versioned {"reports": [...]} wrapper for several.
+std::string RenderDocument(const std::vector<Report>& reports,
+                           OutputFormat format);
+
+}  // namespace emogi::bench
+
+#endif  // EMOGI_BENCH_SINKS_H_

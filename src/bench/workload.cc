@@ -1,0 +1,84 @@
+#include "bench/workload.h"
+
+#include "runtime/sweep_runner.h"
+
+namespace emogi::bench {
+namespace {
+
+std::vector<std::string> Filtered(const std::vector<std::string>& all,
+                                  const std::vector<std::string>& filter) {
+  if (filter.empty()) return all;
+  std::vector<std::string> selected;
+  for (const std::string& symbol : all) {
+    for (const std::string& wanted : filter) {
+      if (symbol == wanted) {
+        selected.push_back(symbol);
+        break;
+      }
+    }
+  }
+  return selected;
+}
+
+}  // namespace
+
+const graph::Csr& LoadDataset(const std::string& symbol,
+                              const Options& options) {
+  return graph::LoadOrGenerateDataset(symbol, options.scale, options.data);
+}
+
+std::vector<graph::VertexId> Sources(const graph::Csr& csr,
+                                     const Options& options) {
+  return graph::PickSources(csr, options.sources);
+}
+
+std::vector<std::string> SelectedSymbols(const Options& options) {
+  return Filtered(graph::AllDatasetSymbols(), options.symbols);
+}
+
+std::vector<std::string> SelectedUndirectedSymbols(const Options& options) {
+  return Filtered(graph::UndirectedDatasetSymbols(), options.symbols);
+}
+
+bool IsSymbolSelected(const Options& options, const std::string& symbol) {
+  if (options.symbols.empty()) return true;
+  for (const std::string& wanted : options.symbols) {
+    if (wanted == symbol) return true;
+  }
+  return false;
+}
+
+std::vector<core::EmogiConfig> ScaledConfigs(
+    const std::vector<core::AccessMode>& modes, std::uint64_t scale) {
+  std::vector<core::EmogiConfig> configs;
+  configs.reserve(modes.size());
+  for (const core::AccessMode mode : modes) {
+    core::EmogiConfig config = core::EmogiConfig::ForMode(mode);
+    config.device.scale_factor = scale;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+double MeanTimeNs(const std::vector<core::TraversalStats>& runs) {
+  if (runs.empty()) return 0;
+  double total = 0;
+  for (const auto& r : runs) total += r.total_time_ns;
+  return total / static_cast<double>(runs.size());
+}
+
+double MeanTimeOverSourcesNs(
+    const std::vector<graph::VertexId>& sources, int threads,
+    const std::function<double(graph::VertexId)>& run_one) {
+  if (sources.empty()) return 0;
+  runtime::SweepRunner runner(threads);
+  const std::vector<double> times =
+      runner.Run(sources.size(), [&](std::size_t i) {
+        return run_one(sources[i]);
+      });
+  double total = 0;
+  for (const double t : times) total += t;
+  return total / static_cast<double>(times.size());
+}
+
+}  // namespace emogi::bench

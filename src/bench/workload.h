@@ -1,0 +1,57 @@
+// Dataset and sweep helpers shared by the experiments (promoted from
+// the old bench/bench_util.*).
+
+#ifndef EMOGI_BENCH_WORKLOAD_H_
+#define EMOGI_BENCH_WORKLOAD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/options.h"
+#include "core/config.h"
+#include "core/stats.h"
+#include "graph/csr.h"
+#include "graph/datasets.h"
+
+namespace emogi::bench {
+
+// Loads (or generates+caches) a dataset at the bench scale with the GPU
+// memory scale factor applied to `device` configs by the caller. The
+// reference is into the process-lifetime cache; copy it to mutate.
+const graph::Csr& LoadDataset(const std::string& symbol,
+                              const Options& options);
+
+// Deterministic sources for the dataset.
+std::vector<graph::VertexId> Sources(const graph::Csr& csr,
+                                     const Options& options);
+
+// The dataset symbols this run covers: all of them, restricted to
+// `options.symbols` when a --filter was given (paper order preserved).
+std::vector<std::string> SelectedSymbols(const Options& options);
+
+// The undirected subset of SelectedSymbols (CC runs only on these).
+std::vector<std::string> SelectedUndirectedSymbols(const Options& options);
+
+// True when `symbol` passes the --filter restriction (always true
+// without one) -- for experiments with hardcoded workload rows.
+bool IsSymbolSelected(const Options& options, const std::string& symbol);
+
+// Factory configs for `modes` with the bench scale factor applied --
+// the shared replacement for the per-figure {"UVM", Uvm()}, ... tables.
+std::vector<core::EmogiConfig> ScaledConfigs(
+    const std::vector<core::AccessMode>& modes, std::uint64_t scale);
+
+// Mean over per-run simulated times, in ns.
+double MeanTimeNs(const std::vector<core::TraversalStats>& runs);
+
+// Mean simulated time of `run_one` over the sources, fanned across
+// `threads` sweep workers with deterministic (source-order) accumulation.
+// `run_one` must be safe to call concurrently.
+double MeanTimeOverSourcesNs(
+    const std::vector<graph::VertexId>& sources, int threads,
+    const std::function<double(graph::VertexId)>& run_one);
+
+}  // namespace emogi::bench
+
+#endif  // EMOGI_BENCH_WORKLOAD_H_

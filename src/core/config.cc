@@ -25,11 +25,25 @@ const char* ToString(AccessMode mode) {
   return "?";
 }
 
+const std::vector<AccessMode>& AllAccessModes() {
+  static const std::vector<AccessMode>* modes = new std::vector<AccessMode>{
+      AccessMode::kUvm, AccessMode::kNaive, AccessMode::kMerged,
+      AccessMode::kMergedAligned};
+  return *modes;
+}
+
+const std::vector<AccessMode>& ZeroCopyAccessModes() {
+  static const std::vector<AccessMode>* modes = new std::vector<AccessMode>{
+      AccessMode::kNaive, AccessMode::kMerged, AccessMode::kMergedAligned};
+  return *modes;
+}
+
 EmogiConfig EmogiConfig::Uvm() { return WithMode(AccessMode::kUvm); }
 EmogiConfig EmogiConfig::Naive() { return WithMode(AccessMode::kNaive); }
 EmogiConfig EmogiConfig::Merged() { return WithMode(AccessMode::kMerged); }
 EmogiConfig EmogiConfig::MergedAligned() {
   return WithMode(AccessMode::kMergedAligned);
 }
+EmogiConfig EmogiConfig::ForMode(AccessMode mode) { return WithMode(mode); }
 
 }  // namespace emogi::core

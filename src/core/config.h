@@ -7,6 +7,8 @@
 #ifndef EMOGI_CORE_CONFIG_H_
 #define EMOGI_CORE_CONFIG_H_
 
+#include <vector>
+
 #include "sim/coalescer.h"
 #include "sim/device.h"
 
@@ -15,6 +17,15 @@ namespace emogi::core {
 enum class AccessMode { kUvm, kNaive, kMerged, kMergedAligned };
 
 const char* ToString(AccessMode mode);
+
+// All four implementations in the paper's presentation order (the UVM
+// baseline first) -- the one mode table the figure experiments share
+// instead of re-declaring their own.
+const std::vector<AccessMode>& AllAccessModes();
+
+// The zero-copy subset, in optimization order: Naive, Merged,
+// Merged+Aligned.
+const std::vector<AccessMode>& ZeroCopyAccessModes();
 
 struct EmogiConfig {
   AccessMode mode = AccessMode::kMergedAligned;
@@ -27,6 +38,8 @@ struct EmogiConfig {
   static EmogiConfig Naive();
   static EmogiConfig Merged();
   static EmogiConfig MergedAligned();
+  // The factory for `mode`, equal to the per-mode factories above.
+  static EmogiConfig ForMode(AccessMode mode);
 };
 
 }  // namespace emogi::core

@@ -42,7 +42,7 @@ struct DataSource {
   std::string data_dir;
   std::string cache_dir;
 
-  // Strict env parsing, matching the BenchOptions knobs: EMOGI_DATA_DIR
+  // Strict env parsing, matching the bench::Options knobs: EMOGI_DATA_DIR
   // must name an existing directory and EMOGI_CACHE_DIR must be
   // non-empty, else the value is rejected with a warning and the
   // (generated-analog) default kept.

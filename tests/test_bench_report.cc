@@ -1,0 +1,357 @@
+// The experiment API: (a) the registry holds all 16 figure/table
+// experiments under unique ids, (b) fig09's JSON report parses, carries
+// the schema version, and its speedup values re-render to exactly the
+// table sink's cells, (c) Options resolves flag > env > default with
+// bad flag values rejected (warning, value kept) like env values.
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/format.h"
+#include "bench/registry.h"
+#include "bench/sinks.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+// --- A minimal JSON parser (objects/arrays/strings/numbers/literals) --------
+// Just enough to genuinely parse the sink's output rather than grep it.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& At(const std::string& key) const {
+    const auto it = object.find(key);
+    CHECK(it != object.end());
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    const JsonValue value = ParseValue();
+    SkipSpace();
+    CHECK(pos_ == text_.size());  // Trailing garbage is a parse failure.
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    CHECK(pos_ < text_.size());
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    CHECK(Peek() == c);
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      const JsonValue key = ParseString();
+      Expect(':');
+      value.object[key.string] = ParseValue();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return value;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return value;
+    }
+  }
+
+  JsonValue ParseString() {
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    Expect('"');
+    while (true) {
+      CHECK(pos_ < text_.size());
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        CHECK(pos_ < text_.size());
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case 'n':
+            value.string += '\n';
+            break;
+          case 't':
+            value.string += '\t';
+            break;
+          case 'r':
+            value.string += '\r';
+            break;
+          case 'u':
+            CHECK(pos_ + 4 <= text_.size());
+            pos_ += 4;  // Control characters only; drop them.
+            break;
+          default:
+            value.string += escaped;  // \" \\ \/
+        }
+      } else {
+        value.string += c;
+      }
+    }
+    return value;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else {
+      CHECK(text_.compare(pos_, 5, "false") == 0);
+      pos_ += 5;
+    }
+    return value;
+  }
+
+  JsonValue ParseNull() {
+    CHECK(text_.compare(pos_, 4, "null") == 0);
+    pos_ += 4;
+    return JsonValue();
+  }
+
+  JsonValue ParseNumber() {
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    CHECK(pos_ > start);
+    value.number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- (a) Registry completeness ----------------------------------------------
+
+void TestRegistryHasAllExperiments() {
+  const std::vector<const bench::Experiment*> all =
+      bench::Registry::Instance().All();
+  CHECK(all.size() == 16);
+
+  std::set<std::string> ids;
+  for (const bench::Experiment* experiment : all) {
+    CHECK(!experiment->id.empty());
+    CHECK(!experiment->title.empty());
+    CHECK(experiment->run != nullptr);
+    CHECK(ids.insert(experiment->id).second);  // Unique ids.
+  }
+  for (const char* id :
+       {"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+        "fig11", "fig12", "fig13", "table2", "table3", "pcie_model_checks",
+        "ablation_rtt", "ablation_worker_size", "ablation_compression"}) {
+    CHECK(ids.count(id) == 1);
+    CHECK(bench::Registry::Instance().Find(id) != nullptr);
+  }
+  CHECK(bench::Registry::Instance().Find("fig13")->has_selfcheck);
+  CHECK(bench::Registry::Instance().Find("no_such_experiment") == nullptr);
+}
+
+// --- (b) fig09 JSON vs table ------------------------------------------------
+
+bench::Report RunFig09() {
+  const bench::Experiment* fig09 = bench::Registry::Instance().Find("fig09");
+  CHECK(fig09 != nullptr);
+  bench::RunContext context;
+  context.options.scale = 8192;  // Smoke-test scale: fast and hermetic.
+  context.options.sources = 2;
+  context.options.threads = 2;
+  bench::Report report;
+  report.id = fig09->id;
+  report.title = fig09->title;
+  report.tags = fig09->tags;
+  report.options = context.options;
+  CHECK(fig09->run(context, &report) == 0);
+  return report;
+}
+
+void TestFig09JsonMatchesTable() {
+  const bench::Report report = RunFig09();
+  const JsonValue root = JsonParser(bench::RenderJson(report)).Parse();
+
+  // Schema-versioned envelope with the run metadata.
+  CHECK(root.At("schema").string == bench::kReportSchemaName);
+  CHECK(root.At("schema_version").number == bench::kReportSchemaVersion);
+  CHECK(root.At("experiment").At("id").string == "fig09");
+  CHECK(root.At("run").At("scale").number == 8192);
+  CHECK(root.At("run").At("sources").number == 2);
+  CHECK(root.At("run").At("threads").number == 2);
+  CHECK(root.At("run").At("data_source").string == "generated-analogs");
+  CHECK(!root.At("run").At("build").string.empty());
+
+  // Every JSON speedup value must re-render to exactly the table cell:
+  // find the symbol's table row and walk its cells in mode order.
+  const std::string table = bench::RenderTable(report);
+  const std::vector<JsonValue>& metrics = root.At("metrics").array;
+  CHECK(!metrics.empty());
+  std::map<std::string, std::vector<double>> by_symbol;  // Mode order kept.
+  for (const JsonValue& metric : metrics) {
+    CHECK(metric.At("metric").string == "speedup_vs_uvm");
+    CHECK(metric.At("unit").string == "x");
+    by_symbol[metric.At("symbol").string].push_back(
+        metric.At("value").number);
+  }
+  CHECK(by_symbol.size() == 7);  // Six datasets + "Avg".
+  for (const auto& [symbol, values] : by_symbol) {
+    CHECK(values.size() == 4);  // UVM, Naive, Merged, Merged+Aligned.
+    std::string expected = symbol;
+    expected.append(18 - symbol.size(), ' ');
+    for (const double value : values) {
+      const std::string cell = bench::FormatDouble(value) + "x";
+      expected.append(12 - cell.size(), ' ');
+      expected.append(cell);
+    }
+    expected += "\n";
+    CHECK(table.find(expected) != std::string::npos);
+  }
+  // The UVM column is the baseline: exactly 1 in the JSON, not a
+  // formatting artifact.
+  CHECK(by_symbol.at("GU")[0] == 1.0);
+}
+
+// --- (c) Options precedence: flag > env > default ---------------------------
+
+void SetEnv(const char* name, const char* value) {
+  if (value == nullptr) {
+    ::unsetenv(name);
+  } else {
+    ::setenv(name, value, 1);
+  }
+}
+
+void TestOptionsPrecedence() {
+  // Default when neither env nor flag is set.
+  SetEnv("EMOGI_SCALE", nullptr);
+  SetEnv("EMOGI_SOURCES", nullptr);
+  SetEnv("EMOGI_THREADS", nullptr);
+  SetEnv("EMOGI_DATA_DIR", nullptr);
+  SetEnv("EMOGI_CACHE_DIR", nullptr);
+  CHECK(bench::Options::FromEnv().scale == 512);
+
+  // Env overrides the default...
+  SetEnv("EMOGI_SCALE", "1024");
+  SetEnv("EMOGI_SOURCES", "8");
+  bench::Options options = bench::Options::FromEnv();
+  CHECK(options.scale == 1024);
+  CHECK(options.sources == 8);
+
+  // ...and a flag overrides the env.
+  CHECK(options.Set("scale", "2048"));
+  CHECK(options.scale == 2048);
+  CHECK(options.Set("threads", "3"));
+  CHECK(options.threads == 3);
+
+  // A bad flag value is rejected with a warning and the env-resolved
+  // value kept -- same contract as a bad env value.
+  for (const char* bad : {"abc", "", "-4", "+4", "0", "4.5"}) {
+    CHECK(!options.Set("sources", bad));
+    CHECK(options.sources == 8);
+  }
+  CHECK(!options.Set("threads", "1025"));  // Beyond the worker cap.
+  CHECK(options.threads == 3);
+
+  // Data/cache dirs validate like their env twins.
+  CHECK(!options.Set("data-dir", "/nonexistent/emogi-data"));
+  CHECK(options.data.data_dir.empty());
+  CHECK(options.Set("data-dir", "/tmp"));
+  CHECK(options.data.data_dir == "/tmp");
+  CHECK(!options.Set("cache-dir", ""));
+  CHECK(options.data.cache_dir.empty());
+  CHECK(options.Set("cache-dir", "/tmp/emogi-cache"));
+  CHECK(options.data.cache_dir == "/tmp/emogi-cache");
+
+  // Filters keep known symbols and reject fully unknown lists; unknown
+  // option names are rejected outright.
+  CHECK(options.Set("filter", "sym=GK,FS"));
+  CHECK(options.symbols == (std::vector<std::string>{"GK", "FS"}));
+  CHECK(!options.Set("filter", "sym=NOPE"));
+  CHECK(options.symbols == (std::vector<std::string>{"GK", "FS"}));
+  CHECK(!options.Set("filter", "app=BFS"));
+  CHECK(!options.Set("bogus", "1"));
+
+  SetEnv("EMOGI_SCALE", nullptr);
+  SetEnv("EMOGI_SOURCES", nullptr);
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  emogi::TestRegistryHasAllExperiments();
+  emogi::TestFig09JsonMatchesTable();
+  emogi::TestOptionsPrecedence();
+  std::printf("test_bench_report: OK\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
-// BenchOptions::FromEnv must take clean positive integers and reject
+// bench::Options::FromEnv must take clean positive integers and reject
 // garbage loudly (keeping the defaults) instead of silently clamping.
+// (Flag-over-env precedence of the same Options is covered by
+// test_bench_report.)
 
 #include <unistd.h>
 
@@ -7,7 +9,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "bench_util.h"
+#include "bench/options.h"
 #include "runtime/thread_pool.h"
 #include "test_util.h"
 
@@ -28,7 +30,7 @@ void TestDefaults() {
   SetEnv("EMOGI_THREADS", nullptr);
   SetEnv("EMOGI_DATA_DIR", nullptr);
   SetEnv("EMOGI_CACHE_DIR", nullptr);
-  const bench::BenchOptions options = bench::BenchOptions::FromEnv();
+  const bench::Options options = bench::Options::FromEnv();
   CHECK(options.scale == 512);
   CHECK(options.sources == 4);
   // Default thread count: hardware_concurrency, clamped >= 1.
@@ -43,7 +45,7 @@ void TestValidValues() {
   SetEnv("EMOGI_SCALE", "4096");
   SetEnv("EMOGI_SOURCES", "16");
   SetEnv("EMOGI_THREADS", "8");
-  const bench::BenchOptions options = bench::BenchOptions::FromEnv();
+  const bench::Options options = bench::Options::FromEnv();
   CHECK(options.scale == 4096);
   CHECK(options.sources == 16);
   CHECK(options.threads == 8);
@@ -56,7 +58,7 @@ void TestGarbageKeepsDefaults() {
     SetEnv("EMOGI_SCALE", value);
     SetEnv("EMOGI_SOURCES", value);
     SetEnv("EMOGI_THREADS", value);
-    const bench::BenchOptions options = bench::BenchOptions::FromEnv();
+    const bench::Options options = bench::Options::FromEnv();
     CHECK(options.scale == 512);
     CHECK(options.sources == 4);
     CHECK(options.threads == runtime::ResolveThreadCount(0));
@@ -65,7 +67,7 @@ void TestGarbageKeepsDefaults() {
   SetEnv("EMOGI_SCALE", nullptr);
   SetEnv("EMOGI_SOURCES", nullptr);
   SetEnv("EMOGI_THREADS", "1025");
-  CHECK(bench::BenchOptions::FromEnv().threads ==
+  CHECK(bench::Options::FromEnv().threads ==
         runtime::ResolveThreadCount(0));
   SetEnv("EMOGI_THREADS", nullptr);
 }
@@ -74,22 +76,22 @@ void TestDataSourceParsing() {
   // EMOGI_DATA_DIR must name an existing directory; anything else is
   // rejected with a warning and the generated-analog default kept.
   SetEnv("EMOGI_DATA_DIR", "/nonexistent/emogi-data");
-  CHECK(bench::BenchOptions::FromEnv().data.data_dir.empty());
+  CHECK(bench::Options::FromEnv().data.data_dir.empty());
   SetEnv("EMOGI_DATA_DIR", "");
-  CHECK(bench::BenchOptions::FromEnv().data.data_dir.empty());
+  CHECK(bench::Options::FromEnv().data.data_dir.empty());
   // A file is not a directory.
   SetEnv("EMOGI_DATA_DIR", "/proc/self/status");
-  CHECK(bench::BenchOptions::FromEnv().data.data_dir.empty());
+  CHECK(bench::Options::FromEnv().data.data_dir.empty());
   SetEnv("EMOGI_DATA_DIR", "/tmp");
-  CHECK(bench::BenchOptions::FromEnv().data.data_dir == "/tmp");
+  CHECK(bench::Options::FromEnv().data.data_dir == "/tmp");
   SetEnv("EMOGI_DATA_DIR", nullptr);
 
   // EMOGI_CACHE_DIR is created on demand, so it only has to be a
   // non-empty string here.
   SetEnv("EMOGI_CACHE_DIR", "");
-  CHECK(bench::BenchOptions::FromEnv().data.cache_dir.empty());
+  CHECK(bench::Options::FromEnv().data.cache_dir.empty());
   SetEnv("EMOGI_CACHE_DIR", "/tmp/emogi-cache");
-  CHECK(bench::BenchOptions::FromEnv().data.cache_dir == "/tmp/emogi-cache");
+  CHECK(bench::Options::FromEnv().data.cache_dir == "/tmp/emogi-cache");
   SetEnv("EMOGI_CACHE_DIR", nullptr);
 }
 
@@ -105,9 +107,9 @@ void TestDataDirWarningOnce() {
   const int saved_stderr = ::dup(2);
   std::fflush(stderr);
   ::dup2(capture_fd, 2);
-  bench::BenchOptions::FromEnv();
-  bench::BenchOptions::FromEnv();
-  bench::BenchOptions::FromEnv();
+  bench::Options::FromEnv();
+  bench::Options::FromEnv();
+  bench::Options::FromEnv();
   std::fflush(stderr);
   ::dup2(saved_stderr, 2);
   ::close(saved_stderr);
