@@ -43,8 +43,38 @@ echo "=== smoke: fig09 JSON report on real fixture edge lists ==="
   --cache-dir build/fixtures/emogi-cache \
   --format=json --out build/BENCH_fig09.json
 grep -q '"schema": "emogi-bench-report"' build/BENCH_fig09.json
-grep -q '"schema_version": 1' build/BENCH_fig09.json
+grep -q '"schema_version": 2' build/BENCH_fig09.json
+grep -q '"duration_ns"' build/BENCH_fig09.json
 echo "build/BENCH_fig09.json: schema-versioned report OK"
+
+echo
+echo "=== regression gate: fig09 vs checked-in baseline ==="
+# Deterministic simulated metrics must match the checked-in baseline
+# exactly; wall-clock metrics get a 20% band (none in fig09). A
+# legitimate model change means regenerating bench/baselines/.
+./build/emogi_bench run fig09 --scale 4096 --sources 2 \
+  --format=json --out build/BENCH_fig09_analogs.json
+./build/bench_compare bench/baselines/BENCH_fig09.json \
+  build/BENCH_fig09_analogs.json
+
+echo
+echo "=== scan throughput: monomorphized vs virtual dispatch ==="
+# --selfcheck gates byte-identity of the static engine/accountant
+# against the virtual seam; the timed run then records host edges/s in
+# BENCH_scan_throughput.json and must show the monomorphized path >= 3x
+# the retained virtual-dispatch reference on at least one app x mode
+# (the naive columns clear it with margin; UVM cannot, by design --
+# page-table work dominates both paths identically).
+./build/emogi_bench run scan_throughput --scale 16384 --sources 1 --selfcheck
+./build/emogi_bench run scan_throughput --scale 16384 --sources 1 \
+  --format=json --out build/BENCH_scan_throughput.json
+./build/emogi_bench run scan_throughput --scale 16384 --sources 1 \
+  --format=csv --out build/BENCH_scan_throughput.csv
+awk -F, '$4 == "speedup_vs_virtual" && $5 > max { max = $5 }
+         END {
+           printf "max speedup_vs_virtual: %.2fx\n", max
+           exit (max >= 3.0 ? 0 : 1)
+         }' build/BENCH_scan_throughput.csv
 
 echo
 echo "=== multi-GPU sanity: 1-vs-4-device parity and speedup ==="

@@ -1,5 +1,6 @@
 #include "bench/driver.h"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "bench/options.h"
 #include "bench/registry.h"
 #include "bench/sinks.h"
+#include "graph/datasets.h"
 
 namespace emogi::bench {
 namespace {
@@ -107,8 +109,22 @@ ParseResult ParseRunArgs(const std::vector<std::string>& args,
       ParseOutputFormat(value, &flags->format);  // Warns + keeps on garbage.
     } else if (name == "out") {
       flags->out = value;
-    } else {
-      options->Set(name, value);  // Warns + keeps on garbage.
+    } else if (!options->Set(name, value) && name == "filter") {
+      // Most bad values warn and keep the resolved default, but a filter
+      // that selects nothing has no sane fallback: "keeping" the empty
+      // filter means running every symbol while the user believes they
+      // restricted the run (or, worse, a report with zero rows exiting
+      // 0). Reject it outright.
+      std::string known;
+      for (const std::string& symbol : graph::AllDatasetSymbols()) {
+        if (!known.empty()) known += ", ";
+        known += symbol;
+      }
+      std::fprintf(stderr,
+                   "emogi_bench: --filter '%s' selects no known dataset "
+                   "symbol (known: %s)\n",
+                   value.c_str(), known.c_str());
+      return ParseResult::kError;
     }
   }
   return ParseResult::kOk;
@@ -136,7 +152,12 @@ int RunExperiments(const std::vector<const Experiment*>& experiments,
     RunContext context;
     context.options = options;
     context.selfcheck = report.selfcheck;
+    const auto wall_start = std::chrono::steady_clock::now();
     const int code = experiment->run(context, &report);
+    report.duration_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
     if (code != 0) exit_code = code;
 
     if (stream_tables) {

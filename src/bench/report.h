@@ -16,8 +16,15 @@ namespace emogi::bench {
 
 // Bumped whenever a field is renamed/removed or its meaning changes;
 // adding fields is backward compatible and does not bump it.
-inline constexpr int kReportSchemaVersion = 1;
+// v2: run metadata gained wall-clock `duration_ns`, and metric rows may
+// carry the `edges/s` throughput unit (kUnitEdgesPerSec) -- wall-clock
+// derived, so consumers (tools/bench_compare) must not expect those
+// rows to be deterministic like the simulated metrics.
+inline constexpr int kReportSchemaVersion = 2;
 inline constexpr char kReportSchemaName[] = "emogi-bench-report";
+
+// Unit string for wall-clock scan-throughput metrics.
+inline constexpr char kUnitEdgesPerSec[] = "edges/s";
 
 // One machine-readable measurement. `symbol` is the dataset symbol (or
 // "" / an aggregate label like "Avg" where no single dataset applies),
@@ -51,6 +58,11 @@ class Report {
   std::vector<std::string> tags;
   Options options;
   bool selfcheck = false;
+  // Wall-clock time the experiment's run() took, stamped by the driver
+  // (0 when the report was built outside it). Unlike every simulated
+  // metric this is machine-dependent -- it exists so throughput
+  // experiments have a home in the schema (v2).
+  double duration_ns = 0;
 
   // --- Table-sink stream (replayed verbatim, in call order) ----------------
 

@@ -167,6 +167,7 @@ std::string RenderJson(const Report& report) {
   out += "    \"symbol_filter\": " + JsonStringArray(options.symbols) + ",\n";
   out += "    \"selfcheck\": " +
          std::string(report.selfcheck ? "true" : "false") + ",\n";
+  out += "    \"duration_ns\": " + JsonNumber(report.duration_ns) + ",\n";
   out += "    \"build\": " + JsonString(BuildVersion()) + "\n";
   out += "  },\n";
   out += "  \"metrics\": [\n";

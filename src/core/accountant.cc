@@ -31,23 +31,18 @@ ZeroCopyAccountant::ZeroCopyAccountant(const EmogiConfig& config)
     : config_(config), pcie_(config.device.link) {}
 
 void ZeroCopyAccountant::AddSpanRequests(sim::Addr begin, sim::Addr end) {
-  // Same splitting as Coalescer::CoalesceSpan, without materializing the
-  // transactions (this is the simulator's hottest path).
-  sim::Addr cursor = begin - begin % sim::kSectorBytes;
-  const sim::Addr limit =
-      end % sim::kSectorBytes ? end + sim::kSectorBytes - end % sim::kSectorBytes
-                              : end;
-  while (cursor < limit) {
-    const sim::Addr line_end =
-        cursor - cursor % sim::kCachelineBytes + sim::kCachelineBytes;
-    const sim::Addr piece_end = std::min(limit, line_end);
-    const auto bytes = static_cast<std::uint32_t>(piece_end - cursor);
-    kernel_requests_.Add(bytes);
-    ++kernel_request_count_;
-    kernel_bytes_ += bytes;
-    kernel_wire_ns_ += pcie_.RequestWireNs(bytes);
-    cursor = piece_end;
-  }
+  // Same splitting as Coalescer::CoalesceSpan (one shared definition in
+  // sim/coalescer.h), without materializing the transactions. Note the
+  // per-request RequestWireNs call: this implementation deliberately
+  // keeps the unspecialized per-request arithmetic -- it is the
+  // reference the monomorphized fast path is measured against.
+  sim::ForEachSpanRequest(
+      begin, end, [this](sim::Addr /*addr*/, std::uint32_t bytes) {
+        kernel_requests_.Add(bytes);
+        ++kernel_request_count_;
+        kernel_bytes_ += bytes;
+        kernel_wire_ns_ += pcie_.RequestWireNs(bytes);
+      });
 }
 
 void ZeroCopyAccountant::OnListScan(sim::Addr base_addr,

@@ -19,6 +19,16 @@
 // UvmAccountant models the managed-memory baseline: accesses hit the
 // page table, misses migrate whole pages at bulk bandwidth plus a serial
 // per-fault handler charge.
+//
+// The hot scan path does NOT go through this interface anymore: the
+// frontier engine and the toy kernels run monomorphized accountants
+// (core/static_accountant.h) selected once per run by core::DispatchRun.
+// The virtual implementations here are the *retained reference*: they
+// must stay arithmetic-identical to their static twins (byte-identical
+// stats, enforced by test_engine_parity) and serve as (a) the public
+// seam a future CUDA backend implements with real measurements, and (b)
+// the dispatch-cost baseline the scan_throughput experiment measures
+// the monomorphized path against.
 
 #ifndef EMOGI_CORE_ACCOUNTANT_H_
 #define EMOGI_CORE_ACCOUNTANT_H_

@@ -19,6 +19,15 @@
 // next frontier (an empty frontier ends the run -- sweep-style policies
 // like CC refill it until a fixpoint). Adding an algorithm (PageRank,
 // Afforest CC, ...) is a new ~40-line policy, not a new loop.
+//
+// The engine is also templated on the *accountant* type: the loop calls
+// accountant.OnListScan/CloseKernel through whatever static type it was
+// handed, so one instantiation per (policy x access mode) exists with
+// the mode's cost model inlined into the scan loop (the monomorphized
+// hot path), while an instantiation with the abstract `Accountant&`
+// remains the virtual-dispatch reference the tests and the
+// scan_throughput baseline run. `DispatchRun` is the run-entry seam
+// picking the monomorphized instantiation from config.mode once per run.
 
 #ifndef EMOGI_CORE_ENGINE_H_
 #define EMOGI_CORE_ENGINE_H_
@@ -28,6 +37,7 @@
 
 #include "core/accountant.h"
 #include "core/config.h"
+#include "core/static_accountant.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 
@@ -36,10 +46,12 @@ namespace emogi::core {
 inline constexpr std::uint32_t kNoLevel = 0xffffffffu;
 inline constexpr std::uint64_t kInfDistance = ~0ull;
 
-template <typename Policy>
-TraversalStats RunFrontierEngine(const graph::Csr& csr,
-                                 const EmogiConfig& config, Policy& policy) {
-  const std::unique_ptr<Accountant> accountant = MakeAccountant(csr, config);
+// The one frontier loop, monomorphized on (Policy, AccountantT). The
+// accountant is passed in (not made here) so callers control its
+// concrete type; `AccountantT = Accountant` gives the virtual reference.
+template <typename Policy, typename AccountantT>
+TraversalStats RunFrontierEngine(const graph::Csr& csr, Policy& policy,
+                                 AccountantT& accountant) {
   const std::uint64_t weight_base = WeightBase(csr);
 
   std::vector<graph::VertexId> frontier;
@@ -49,22 +61,65 @@ TraversalStats RunFrontierEngine(const graph::Csr& csr,
     next.clear();
     std::uint64_t scanned_edges = 0;
     for (const graph::VertexId v : frontier) {
-      accountant->OnListScan(0, csr.NeighborBegin(v), csr.NeighborEnd(v),
-                             csr.edge_elem_bytes());
+      accountant.OnListScan(0, csr.NeighborBegin(v), csr.NeighborEnd(v),
+                            csr.edge_elem_bytes());
       if (Policy::kStreamsWeights) {
-        accountant->OnListScan(weight_base, csr.NeighborBegin(v),
-                               csr.NeighborEnd(v), kWeightBytes);
+        accountant.OnListScan(weight_base, csr.NeighborBegin(v),
+                              csr.NeighborEnd(v), kWeightBytes);
       }
       scanned_edges += csr.Degree(v);
       policy.Expand(v, &next);
     }
-    accountant->CloseKernel(scanned_edges);
+    accountant.CloseKernel(scanned_edges);
     policy.NextFrontier(&frontier, &next);
   }
 
-  TraversalStats stats = *accountant->mutable_stats();
+  TraversalStats stats = *accountant.mutable_stats();
   stats.dataset_bytes = policy.DatasetBytes();
   return stats;
+}
+
+// Monomorphized run entry: selects the static (policy x access-mode)
+// engine instantiation once from config.mode, then runs with zero
+// per-scan dispatch. This is what the traversal facade, the multi-GPU
+// engine, and the experiments all route through.
+template <typename Policy>
+TraversalStats DispatchRun(const graph::Csr& csr, const EmogiConfig& config,
+                           Policy& policy) {
+  const std::uint64_t managed_bytes = ManagedGraphBytes(csr);
+  switch (config.mode) {
+    case AccessMode::kUvm: {
+      StaticUvmAccountant accountant(config, managed_bytes);
+      return RunFrontierEngine(csr, policy, accountant);
+    }
+    case AccessMode::kNaive: {
+      StaticZeroCopyAccountant<AccessMode::kNaive> accountant(config,
+                                                              managed_bytes);
+      return RunFrontierEngine(csr, policy, accountant);
+    }
+    case AccessMode::kMerged: {
+      StaticZeroCopyAccountant<AccessMode::kMerged> accountant(config,
+                                                               managed_bytes);
+      return RunFrontierEngine(csr, policy, accountant);
+    }
+    case AccessMode::kMergedAligned:
+      break;
+  }
+  StaticZeroCopyAccountant<AccessMode::kMergedAligned> accountant(
+      config, managed_bytes);
+  return RunFrontierEngine(csr, policy, accountant);
+}
+
+// The retained virtual-dispatch reference: the seed path through
+// MakeAccountant and per-scan virtual calls, kept as the baseline the
+// scan_throughput experiment measures against and the byte-identity
+// oracle test_engine_parity compares DispatchRun to.
+template <typename Policy>
+TraversalStats RunFrontierEngineVirtual(const graph::Csr& csr,
+                                        const EmogiConfig& config,
+                                        Policy& policy) {
+  const std::unique_ptr<Accountant> accountant = MakeAccountant(csr, config);
+  return RunFrontierEngine(csr, policy, *accountant);
 }
 
 // --- Algorithm policies -----------------------------------------------------

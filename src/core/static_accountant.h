@@ -1,0 +1,280 @@
+// Monomorphized accountants: the compile-time twins of the virtual
+// `Accountant` implementations in core/accountant.h.
+//
+// The frontier engine charges every neighbor-list scan of every frontier
+// vertex to the accountant, so on full-scale graphs the per-scan seam is
+// the simulator's hottest call site. The virtual interface pays an
+// indirect call plus a runtime access-mode branch per scan and
+// re-derives per-request constants (TLP wire occupancy, tag-window
+// latency -- each a division in the PCIe model) inside the per-element
+// loop. The types here are concrete and final, selected once per run by
+// `DispatchRun` (core/engine.h) switching on `EmogiConfig::mode`, so the
+// compiler inlines `OnListScan`/`CloseKernel` straight into the engine
+// loop with all constants hoisted into members at construction.
+//
+// Contract: these must stay arithmetic-identical to the virtual
+// reference path -- same operations in the same order, so every stat is
+// byte-identical, doubles included (test_engine_parity compares the two
+// paths bitwise across all modes x policies x thread counts). Hoists are
+// therefore limited to pure per-request constants (the wire-occupancy
+// table, the per-request latency, the bulk bandwidth) and to integer
+// bookkeeping (the request histogram is accumulated as per-bucket counts
+// and folded at CloseKernel); the floating-point accumulation order of
+// kernel_wire_ns_ is untouched.
+//
+// Both accountant shapes share the (config, managed_bytes) constructor
+// signature so DispatchRun can instantiate any of them uniformly; the
+// zero-copy models ignore the allocation size.
+
+#ifndef EMOGI_CORE_STATIC_ACCOUNTANT_H_
+#define EMOGI_CORE_STATIC_ACCOUNTANT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/accountant.h"
+#include "core/config.h"
+#include "core/stats.h"
+#include "sim/coalescer.h"
+#include "sim/pcie.h"
+#include "uvm/page_table.h"
+
+namespace emogi::core {
+
+// Zero-copy traffic model monomorphized on the access mode (kNaive,
+// kMerged, or kMergedAligned -- kUvm has its own type below).
+template <AccessMode kMode>
+class StaticZeroCopyAccountant final {
+  static_assert(kMode != AccessMode::kUvm,
+                "UVM is modeled by StaticUvmAccountant");
+
+ public:
+  StaticZeroCopyAccountant(const EmogiConfig& config,
+                           std::uint64_t /*managed_bytes*/)
+      : window_lanes_(static_cast<sim::Addr>(
+            std::max(1, config.worker_lanes))),
+        compute_ns_per_edge_(config.device.compute_ns_per_edge),
+        kernel_launch_ns_(config.device.kernel_launch_ns) {
+    const sim::PcieTimingModel pcie(config.device.link);
+    // One wire-occupancy constant per request size the coalescer can
+    // emit (32/64/96/128B) -- the division RequestWireNs performs,
+    // hoisted out of the per-request loop.
+    for (int sectors = 1; sectors <= 4; ++sectors) {
+      wire_ns_[sectors - 1] = pcie.RequestWireNs(
+          static_cast<double>(sectors) * static_cast<double>(sim::kSectorBytes));
+    }
+    request_latency_ns_ = pcie.RequestLatencyNs();
+  }
+
+  void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
+                  std::uint64_t elem_end, std::uint32_t elem_bytes) {
+    if (elem_begin >= elem_end) return;
+    const sim::Addr span_begin = base_addr + elem_begin * elem_bytes;
+    const sim::Addr span_end = base_addr + elem_end * elem_bytes;
+
+    if constexpr (kMode == AccessMode::kNaive) {
+      // Vertex-per-thread: every element load is its own instruction
+      // with no lane to pair with -- one full 32B sector request each.
+      const std::uint64_t elems = elem_end - elem_begin;
+      sector_requests_[0] += elems;
+      kernel_request_count_ += elems;
+      kernel_bytes_ += elems * sim::kSectorBytes;
+      kernel_wire_ns_ += static_cast<double>(elems) * wire_ns_[0];
+    } else {
+      const sim::Addr window = window_lanes_ * elem_bytes;
+      // Merged anchors warp windows at the list head; merged+aligned
+      // (EMOGI's shifted first iteration) anchors them on the absolute
+      // window grid -- resolved at compile time here, where the virtual
+      // reference re-tests config.mode on every scan.
+      sim::Addr anchor;
+      if constexpr (kMode == AccessMode::kMergedAligned) {
+        anchor = span_begin - span_begin % window;
+      } else {
+        anchor = span_begin;
+      }
+      for (sim::Addr w = anchor; w < span_end; w += window) {
+        AddSpanRequests(std::max(w, span_begin),
+                        std::min(w + window, span_end));
+      }
+    }
+  }
+
+  KernelCost CloseKernel(std::uint64_t work_edges) {
+    KernelCost cost;
+    cost.wire_ns = kernel_wire_ns_;
+    cost.latency_ns =
+        static_cast<double>(kernel_request_count_) * request_latency_ns_;
+    cost.compute_ns = static_cast<double>(work_edges) * compute_ns_per_edge_;
+    cost.total_ns =
+        std::max({cost.wire_ns, cost.latency_ns, cost.compute_ns}) +
+        kernel_launch_ns_;
+
+    stats_.total_time_ns += cost.total_ns;
+    stats_.wire_ns += cost.wire_ns;
+    stats_.latency_ns += cost.latency_ns;
+    stats_.compute_ns += cost.compute_ns;
+    stats_.bytes_moved += kernel_bytes_;
+    for (int sectors = 1; sectors <= 4; ++sectors) {
+      stats_.requests.Add(
+          static_cast<std::uint32_t>(sectors) * sim::kSectorBytes,
+          sector_requests_[sectors - 1]);
+      sector_requests_[sectors - 1] = 0;
+    }
+    ++stats_.kernels;
+
+    kernel_request_count_ = 0;
+    kernel_wire_ns_ = 0;
+    kernel_bytes_ = 0;
+    return cost;
+  }
+
+  const TraversalStats& stats() const { return stats_; }
+  TraversalStats* mutable_stats() { return &stats_; }
+
+ private:
+  void AddRequest(std::uint32_t bytes) {
+    const std::uint32_t bucket = bytes / sim::kSectorBytes - 1;
+    ++sector_requests_[bucket];
+    ++kernel_request_count_;
+    kernel_bytes_ += bytes;
+    kernel_wire_ns_ += wire_ns_[bucket];
+  }
+
+  // Emits the same request sequence as sim::ForEachSpanRequest -- head
+  // piece up to the first cacheline boundary, full cachelines, tail --
+  // but in straight-line form: the splitter's per-piece cursor loop is
+  // the bulk of the monomorphized scan cost once dispatch is gone, and
+  // the piece structure is computable up front. Full cachelines fold
+  // their integer bookkeeping into one update; their wire time still
+  // accumulates one add per request, in order, so the double sum stays
+  // bit-identical to the reference loop's.
+  void AddSpanRequests(sim::Addr begin, sim::Addr end) {
+    if (begin >= end) return;
+    sim::Addr cursor = begin - begin % sim::kSectorBytes;
+    const sim::Addr limit =
+        end % sim::kSectorBytes ? end + sim::kSectorBytes - end % sim::kSectorBytes
+                                : end;
+    const sim::Addr line_end =
+        cursor - cursor % sim::kCachelineBytes + sim::kCachelineBytes;
+    if (limit <= line_end) {
+      AddRequest(static_cast<std::uint32_t>(limit - cursor));
+      return;
+    }
+    AddRequest(static_cast<std::uint32_t>(line_end - cursor));
+    cursor = line_end;
+    const std::uint64_t full_lines = (limit - cursor) / sim::kCachelineBytes;
+    if (full_lines > 0) {
+      sector_requests_[3] += full_lines;
+      kernel_request_count_ += full_lines;
+      kernel_bytes_ += full_lines * sim::kCachelineBytes;
+      const double line_wire_ns = wire_ns_[3];
+      double wire_ns = kernel_wire_ns_;
+      for (std::uint64_t i = 0; i < full_lines; ++i) wire_ns += line_wire_ns;
+      kernel_wire_ns_ = wire_ns;
+    }
+    const std::uint32_t tail =
+        static_cast<std::uint32_t>((limit - cursor) % sim::kCachelineBytes);
+    if (tail > 0) AddRequest(tail);
+  }
+
+  // Hoisted per-run constants.
+  sim::Addr window_lanes_;
+  double compute_ns_per_edge_;
+  double kernel_launch_ns_;
+  double wire_ns_[4] = {0, 0, 0, 0};
+  double request_latency_ns_ = 0;
+
+  TraversalStats stats_;
+  // Current-kernel accumulators. Request-size counts fold into the
+  // histogram only at CloseKernel (integer bookkeeping, so the deferred
+  // fold is exact); the wire time accumulates per request, in request
+  // order, to keep double addition bit-identical to the reference.
+  std::uint64_t sector_requests_[4] = {0, 0, 0, 0};
+  std::uint64_t kernel_request_count_ = 0;
+  double kernel_wire_ns_ = 0;
+  std::uint64_t kernel_bytes_ = 0;
+};
+
+// Managed-memory (UVM) model: page-table residency per scanned page,
+// whole-page migrations at bulk bandwidth plus a serial per-fault
+// handler charge at CloseKernel. Identical arithmetic to UvmAccountant
+// with the bulk-bandwidth and fault constants hoisted and the page-table
+// touch inlined (uvm/page_table.h).
+class StaticUvmAccountant final {
+ public:
+  StaticUvmAccountant(const EmogiConfig& config, std::uint64_t managed_bytes)
+      : table_((managed_bytes + sim::kPageBytes - 1) / sim::kPageBytes,
+               static_cast<std::uint64_t>(
+                   config.device.uvm_resident_fraction *
+                   static_cast<double>(config.device.ScaledMemoryBytes())) /
+                   sim::kPageBytes),
+        touched_epoch_((managed_bytes + sim::kPageBytes - 1) / sim::kPageBytes,
+                       0),
+        fault_service_ns_(config.device.fault_service_ns),
+        compute_ns_per_edge_(config.device.compute_ns_per_edge),
+        kernel_launch_ns_(config.device.kernel_launch_ns) {
+    const sim::PcieTimingModel pcie(config.device.link);
+    peak_bulk_bandwidth_ = pcie.PeakBulkBandwidth();
+    epoch_ = 1;
+  }
+
+  void OnListScan(sim::Addr base_addr, std::uint64_t elem_begin,
+                  std::uint64_t elem_end, std::uint32_t elem_bytes) {
+    if (elem_begin >= elem_end) return;
+    const std::uint64_t first =
+        (base_addr + elem_begin * elem_bytes) / sim::kPageBytes;
+    const std::uint64_t last =
+        (base_addr + elem_end * elem_bytes - 1) / sim::kPageBytes;
+    for (std::uint64_t page = first; page <= last; ++page) {
+      // A page touched twice in one kernel migrates at most once, even
+      // across an eviction (driver fault batching + latency hiding).
+      if (touched_epoch_[page] == epoch_) continue;
+      touched_epoch_[page] = epoch_;
+      if (table_.Touch(page)) ++kernel_faults_;
+    }
+  }
+
+  KernelCost CloseKernel(std::uint64_t work_edges) {
+    KernelCost cost;
+    const std::uint64_t migrated = kernel_faults_ * sim::kPageBytes;
+    cost.wire_ns = static_cast<double>(migrated) / peak_bulk_bandwidth_;
+    cost.fault_ns = static_cast<double>(kernel_faults_) * fault_service_ns_;
+    cost.compute_ns = static_cast<double>(work_edges) * compute_ns_per_edge_;
+    cost.total_ns = std::max(cost.compute_ns, cost.wire_ns + cost.fault_ns) +
+                    kernel_launch_ns_;
+
+    stats_.total_time_ns += cost.total_ns;
+    stats_.wire_ns += cost.wire_ns;
+    stats_.fault_ns += cost.fault_ns;
+    stats_.compute_ns += cost.compute_ns;
+    stats_.bytes_moved += migrated;
+    stats_.page_faults += kernel_faults_;
+    stats_.requests.Add(static_cast<std::uint32_t>(sim::kPageBytes),
+                        kernel_faults_);
+    ++stats_.kernels;
+
+    kernel_faults_ = 0;
+    ++epoch_;
+    return cost;
+  }
+
+  const TraversalStats& stats() const { return stats_; }
+  TraversalStats* mutable_stats() { return &stats_; }
+
+ private:
+  uvm::PageTable table_;
+  std::vector<std::uint32_t> touched_epoch_;
+  std::uint32_t epoch_ = 0;
+  double fault_service_ns_;
+  double compute_ns_per_edge_;
+  double kernel_launch_ns_;
+  double peak_bulk_bandwidth_ = 0;
+
+  TraversalStats stats_;
+  std::uint64_t kernel_faults_ = 0;
+};
+
+}  // namespace emogi::core
+
+#endif  // EMOGI_CORE_STATIC_ACCOUNTANT_H_

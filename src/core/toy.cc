@@ -1,8 +1,7 @@
 #include "core/toy.h"
 
-#include <memory>
-
 #include "core/accountant.h"
+#include "core/static_accountant.h"
 #include "sim/pcie.h"
 
 namespace emogi::core {
@@ -56,27 +55,50 @@ const char* ToString(ToyPattern pattern) {
   return "?";
 }
 
+// The copy kernel body, monomorphized on the accountant type so the
+// whole-array scan inlines the pattern's cost model (mirrors the
+// frontier engine's DispatchRun seam, one closed-form kernel instead of
+// a frontier loop).
+template <typename AccountantT>
+ToyResult RunToyCopyWith(ToyPattern pattern, std::uint64_t array_bytes,
+                         AccountantT& accountant) {
+  const sim::Addr base =
+      pattern == ToyPattern::kMergedMisaligned ? sim::kSectorBytes : 0;
+  const std::uint64_t elems = array_bytes / kElemBytes;
+  accountant.OnListScan(base, 0, elems, kElemBytes);
+  const KernelCost cost = accountant.CloseKernel(elems);
+
+  ToyResult result;
+  result.requests = accountant.stats().requests;
+  result.time_ns = cost.total_ns;
+  result.pcie_bandwidth_gbps =
+      static_cast<double>(accountant.stats().bytes_moved) / result.time_ns;
+  result.dram_bandwidth_gbps =
+      result.pcie_bandwidth_gbps * DramFactor(pattern);
+  return result;
+}
+
 ToyResult RunToyCopy(ToyPattern pattern, std::uint64_t array_bytes,
                      const EmogiConfig& config) {
   EmogiConfig pattern_config = config;
   pattern_config.mode = ModeFor(pattern);
+  const std::uint64_t managed_bytes = array_bytes + sim::kSectorBytes;
 
-  const std::unique_ptr<Accountant> accountant =
-      MakeAccountant(pattern_config, array_bytes + sim::kSectorBytes);
-  const sim::Addr base =
-      pattern == ToyPattern::kMergedMisaligned ? sim::kSectorBytes : 0;
-  const std::uint64_t elems = array_bytes / kElemBytes;
-  accountant->OnListScan(base, 0, elems, kElemBytes);
-  const KernelCost cost = accountant->CloseKernel(elems);
-
-  ToyResult result;
-  result.requests = accountant->stats().requests;
-  result.time_ns = cost.total_ns;
-  result.pcie_bandwidth_gbps =
-      static_cast<double>(accountant->stats().bytes_moved) / result.time_ns;
-  result.dram_bandwidth_gbps =
-      result.pcie_bandwidth_gbps * DramFactor(pattern);
-  return result;
+  // Every toy pattern stands for a zero-copy mode (the UVM reference has
+  // its own closed form below), so dispatch covers the three of them.
+  if (pattern_config.mode == AccessMode::kNaive) {
+    StaticZeroCopyAccountant<AccessMode::kNaive> accountant(pattern_config,
+                                                            managed_bytes);
+    return RunToyCopyWith(pattern, array_bytes, accountant);
+  }
+  if (pattern_config.mode == AccessMode::kMerged) {
+    StaticZeroCopyAccountant<AccessMode::kMerged> accountant(pattern_config,
+                                                             managed_bytes);
+    return RunToyCopyWith(pattern, array_bytes, accountant);
+  }
+  StaticZeroCopyAccountant<AccessMode::kMergedAligned> accountant(
+      pattern_config, managed_bytes);
+  return RunToyCopyWith(pattern, array_bytes, accountant);
 }
 
 double UvmToyBandwidth(std::uint64_t array_bytes, const EmogiConfig& config) {

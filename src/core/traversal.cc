@@ -12,7 +12,7 @@ Traversal::Traversal(const graph::Csr& csr, const EmogiConfig& config)
 BfsRun Traversal::Bfs(graph::VertexId source) const {
   BfsPolicy policy(csr_, source);
   BfsRun run;
-  run.stats = RunFrontierEngine(csr_, config_, policy);
+  run.stats = DispatchRun(csr_, config_, policy);
   run.levels = std::move(policy.levels());
   return run;
 }
@@ -20,7 +20,7 @@ BfsRun Traversal::Bfs(graph::VertexId source) const {
 SsspRun Traversal::Sssp(graph::VertexId source) const {
   SsspPolicy policy(csr_, source);
   SsspRun run;
-  run.stats = RunFrontierEngine(csr_, config_, policy);
+  run.stats = DispatchRun(csr_, config_, policy);
   run.distances = std::move(policy.distances());
   return run;
 }
@@ -28,7 +28,7 @@ SsspRun Traversal::Sssp(graph::VertexId source) const {
 CcRun Traversal::Cc() const {
   CcPolicy policy(csr_);
   CcRun run;
-  run.stats = RunFrontierEngine(csr_, config_, policy);
+  run.stats = DispatchRun(csr_, config_, policy);
   run.labels = std::move(policy.labels());
   return run;
 }

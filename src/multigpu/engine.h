@@ -7,9 +7,11 @@
 //
 //   1. the global frontier is split by owner (order-preserving);
 //   2. every device scans its chunk's neighbor lists, charging its own
-//      Accountant (instantiated through the public MakeAccountant seam,
-//      so all four access modes work unchanged) -- this phase fans
-//      across the runtime::ThreadPool;
+//      accountant -- a *static* (monomorphized) accountant selected once
+//      per run from config.mode, exactly like the single-device
+//      DispatchRun, so the per-scan cost model inlines into the scan
+//      loop on every device -- this phase fans across the
+//      runtime::ThreadPool;
 //   3. the policy's Expand runs serially in device order, so the label
 //      updates and the next frontier are deterministic at any thread
 //      count (and, for N=1, identical to the single-device engine);
@@ -34,6 +36,7 @@
 #include "core/accountant.h"
 #include "core/config.h"
 #include "core/engine.h"
+#include "core/static_accountant.h"
 #include "core/stats.h"
 #include "graph/csr.h"
 #include "multigpu/partition.h"
@@ -72,21 +75,25 @@ struct MultiDeviceStats {
   double exchange_ns = 0;
 };
 
-template <typename Policy>
-MultiDeviceStats RunMultiDeviceEngine(const graph::Csr& csr,
-                                      const core::EmogiConfig& config,
-                                      const MultiGpuConfig& multi,
-                                      Policy& policy) {
+// The round loop, monomorphized on (Policy, AccountantT): every device
+// owns one concrete accountant of the same static type, so the scan
+// phase below is the same inlined hot loop as the single-device engine.
+template <typename Policy, typename AccountantT>
+MultiDeviceStats RunMultiDeviceEngineWith(const graph::Csr& csr,
+                                          const core::EmogiConfig& config,
+                                          const MultiGpuConfig& multi,
+                                          Policy& policy) {
   const int devices = std::max(1, multi.devices);
   const Partition partition = MakePartition(csr, devices, multi.partition);
   const LinkTopology topology(multi.topology, config.device.link);
   const std::uint64_t weight_base = core::WeightBase(csr);
   const std::uint32_t record_bytes = multi.topology.exchange_record_bytes;
+  const std::uint64_t managed_bytes = core::ManagedGraphBytes(csr);
 
-  std::vector<std::unique_ptr<core::Accountant>> accountants;
+  std::vector<AccountantT> accountants;
   accountants.reserve(devices);
   for (int d = 0; d < devices; ++d) {
-    accountants.push_back(core::MakeAccountant(csr, config));
+    accountants.emplace_back(config, managed_bytes);
   }
 
   MultiDeviceStats stats;
@@ -123,13 +130,13 @@ MultiDeviceStats RunMultiDeviceEngine(const graph::Csr& csr,
     runtime::RunBatch(pool.get(), static_cast<std::size_t>(devices),
                       [&](std::size_t d) {
       std::uint64_t edges = 0;
-      core::Accountant* accountant = accountants[d].get();
+      AccountantT& accountant = accountants[d];
       for (const graph::VertexId v : chunks[d]) {
-        accountant->OnListScan(0, csr.NeighborBegin(v), csr.NeighborEnd(v),
-                               csr.edge_elem_bytes());
+        accountant.OnListScan(0, csr.NeighborBegin(v), csr.NeighborEnd(v),
+                              csr.edge_elem_bytes());
         if (Policy::kStreamsWeights) {
-          accountant->OnListScan(weight_base, csr.NeighborBegin(v),
-                                 csr.NeighborEnd(v), core::kWeightBytes);
+          accountant.OnListScan(weight_base, csr.NeighborBegin(v),
+                                csr.NeighborEnd(v), core::kWeightBytes);
         }
         edges += csr.Degree(v);
       }
@@ -145,7 +152,7 @@ MultiDeviceStats RunMultiDeviceEngine(const graph::Csr& csr,
     // Idle devices (empty chunk) launch no kernel this round.
     for (int d = 0; d < devices; ++d) {
       costs[d] = chunks[d].empty() ? core::KernelCost{}
-                                   : accountants[d]->CloseKernel(scanned[d]);
+                                   : accountants[d].CloseKernel(scanned[d]);
     }
 
     // Boundary exchange: a vertex discovered by d but owned by o != d is
@@ -184,7 +191,7 @@ MultiDeviceStats RunMultiDeviceEngine(const graph::Csr& csr,
   // is already the round-based wall time; everything else sums.
   for (int d = 0; d < devices; ++d) {
     core::TraversalStats& device = stats.devices[d].traversal;
-    device = *accountants[d]->mutable_stats();
+    device = *accountants[d].mutable_stats();
     stats.merged.wire_ns += device.wire_ns;
     stats.merged.latency_ns += device.latency_ns;
     stats.merged.compute_ns += device.compute_ns;
@@ -197,6 +204,35 @@ MultiDeviceStats RunMultiDeviceEngine(const graph::Csr& csr,
   stats.merged.bytes_moved += stats.exchange_bytes;
   stats.merged.dataset_bytes = policy.DatasetBytes();
   return stats;
+}
+
+// Run entry: like core::DispatchRun, selects the static (policy x
+// access-mode) instantiation once from config.mode.
+template <typename Policy>
+MultiDeviceStats RunMultiDeviceEngine(const graph::Csr& csr,
+                                      const core::EmogiConfig& config,
+                                      const MultiGpuConfig& multi,
+                                      Policy& policy) {
+  using core::AccessMode;
+  using core::StaticZeroCopyAccountant;
+  switch (config.mode) {
+    case AccessMode::kUvm:
+      return RunMultiDeviceEngineWith<Policy, core::StaticUvmAccountant>(
+          csr, config, multi, policy);
+    case AccessMode::kNaive:
+      return RunMultiDeviceEngineWith<
+          Policy, StaticZeroCopyAccountant<AccessMode::kNaive>>(csr, config,
+                                                                multi, policy);
+    case AccessMode::kMerged:
+      return RunMultiDeviceEngineWith<
+          Policy, StaticZeroCopyAccountant<AccessMode::kMerged>>(csr, config,
+                                                                 multi, policy);
+    case AccessMode::kMergedAligned:
+      break;
+  }
+  return RunMultiDeviceEngineWith<
+      Policy, StaticZeroCopyAccountant<AccessMode::kMergedAligned>>(
+      csr, config, multi, policy);
 }
 
 // Facade mirroring core::Traversal for the three stock applications.

@@ -3,30 +3,12 @@
 #include <algorithm>
 
 namespace emogi::sim {
-namespace {
-
-inline Addr AlignDown(Addr a, Addr granularity) {
-  return a - (a % granularity);
-}
-
-inline Addr AlignUp(Addr a, Addr granularity) {
-  return AlignDown(a + granularity - 1, granularity);
-}
-
-}  // namespace
 
 void Coalescer::CoalesceSpan(Addr begin, Addr end,
                              std::vector<Transaction>* out) {
-  if (begin >= end) return;
-  Addr cursor = AlignDown(begin, kSectorBytes);
-  const Addr limit = AlignUp(end, kSectorBytes);
-  while (cursor < limit) {
-    const Addr line_end = AlignDown(cursor, kCachelineBytes) + kCachelineBytes;
-    const Addr piece_end = std::min(limit, line_end);
-    out->push_back(
-        {cursor, static_cast<std::uint32_t>(piece_end - cursor)});
-    cursor = piece_end;
-  }
+  ForEachSpanRequest(begin, end, [out](Addr addr, std::uint32_t bytes) {
+    out->push_back({addr, bytes});
+  });
 }
 
 void Coalescer::CoalesceLanes(const Addr lanes[kWarpSize], std::uint32_t mask,

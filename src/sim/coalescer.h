@@ -32,6 +32,28 @@ struct Transaction {
   std::uint32_t bytes = 0;
 };
 
+// Splits the byte span [begin, end) into sector-rounded,
+// cacheline-bounded requests, calling fn(addr, bytes) for each. This is
+// the one definition of the splitting arithmetic: Coalescer::CoalesceSpan
+// materializes the transactions through it, while the accountants'
+// per-scan fast paths (core/static_accountant.h and the virtual
+// reference in core/accountant.cc) only accumulate counts and never
+// allocate -- the simulator's hottest loop.
+template <typename Fn>
+inline void ForEachSpanRequest(Addr begin, Addr end, Fn&& fn) {
+  if (begin >= end) return;
+  Addr cursor = begin - begin % kSectorBytes;
+  const Addr limit =
+      end % kSectorBytes ? end + kSectorBytes - end % kSectorBytes : end;
+  while (cursor < limit) {
+    const Addr line_end =
+        cursor - cursor % kCachelineBytes + kCachelineBytes;
+    const Addr piece_end = limit < line_end ? limit : line_end;
+    fn(cursor, static_cast<std::uint32_t>(piece_end - cursor));
+    cursor = piece_end;
+  }
+}
+
 class Coalescer {
  public:
   // Splits the byte span [begin, end) into sector-rounded, cacheline-bounded

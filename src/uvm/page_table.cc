@@ -11,24 +11,6 @@ PageTable::PageTable(std::uint64_t num_pages, std::uint64_t resident_capacity)
   fifo_.reserve(static_cast<std::size_t>(std::min(num_pages_, capacity_)));
 }
 
-bool PageTable::Touch(std::uint64_t page) {
-  if (resident_[page]) {
-    ++hits_;
-    return false;
-  }
-  ++faults_;
-  if (fifo_.size() < capacity_) {
-    fifo_.push_back(page);
-  } else {
-    resident_[fifo_[fifo_head_]] = 0;
-    ++evictions_;
-    fifo_[fifo_head_] = page;
-    fifo_head_ = (fifo_head_ + 1) % fifo_.size();
-  }
-  resident_[page] = 1;
-  return true;
-}
-
 void PageTable::Reset() {
   std::fill(resident_.begin(), resident_.end(), 0);
   fifo_.clear();

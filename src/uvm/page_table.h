@@ -19,8 +19,26 @@ class PageTable {
   PageTable(std::uint64_t num_pages, std::uint64_t resident_capacity);
 
   // Accesses `page`; migrates it on a miss (evicting the oldest resident
-  // page when full). Returns true iff the access faulted.
-  bool Touch(std::uint64_t page);
+  // page when full). Returns true iff the access faulted. Defined inline:
+  // the monomorphized UVM accountant calls this once per touched page per
+  // scan, and the resident-hit early return is the common case.
+  bool Touch(std::uint64_t page) {
+    if (resident_[page]) {
+      ++hits_;
+      return false;
+    }
+    ++faults_;
+    if (fifo_.size() < capacity_) {
+      fifo_.push_back(page);
+    } else {
+      resident_[fifo_[fifo_head_]] = 0;
+      ++evictions_;
+      fifo_[fifo_head_] = page;
+      fifo_head_ = (fifo_head_ + 1) % fifo_.size();
+    }
+    resident_[page] = 1;
+    return true;
+  }
 
   std::uint64_t faults() const { return faults_; }
   std::uint64_t hits() const { return hits_; }

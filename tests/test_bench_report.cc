@@ -1,20 +1,20 @@
-// The experiment API: (a) the registry holds all 16 figure/table
-// experiments under unique ids, (b) fig09's JSON report parses, carries
-// the schema version, and its speedup values re-render to exactly the
-// table sink's cells, (c) Options resolves flag > env > default with
-// bad flag values rejected (warning, value kept) like env values.
+// The experiment API: (a) the registry holds all 17 figure/table/perf
+// experiments under unique ids, (b) fig09's JSON report parses (via the
+// shared bench/json reader), carries the schema version, and its
+// speedup values re-render to exactly the table sink's cells, (c)
+// Options resolves flag > env > default with bad flag values rejected
+// (warning, value kept) like env values.
 
 #include <unistd.h>
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench/format.h"
+#include "bench/json.h"
 #include "bench/registry.h"
 #include "bench/sinks.h"
 #include "test_util.h"
@@ -22,184 +22,24 @@
 namespace emogi {
 namespace {
 
-// --- A minimal JSON parser (objects/arrays/strings/numbers/literals) --------
-// Just enough to genuinely parse the sink's output rather than grep it.
+using bench::JsonValue;
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& At(const std::string& key) const {
-    const auto it = object.find(key);
-    CHECK(it != object.end());
-    return it->second;
+JsonValue ParseOrDie(const std::string& text) {
+  JsonValue root;
+  std::string error;
+  if (!bench::ParseJson(text, &root, &error)) {
+    std::fprintf(stderr, "JSON parse failure: %s\n", error.c_str());
+    CHECK(false);
   }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue Parse() {
-    const JsonValue value = ParseValue();
-    SkipSpace();
-    CHECK(pos_ == text_.size());  // Trailing garbage is a parse failure.
-    return value;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char Peek() {
-    SkipSpace();
-    CHECK(pos_ < text_.size());
-    return text_[pos_];
-  }
-
-  void Expect(char c) {
-    CHECK(Peek() == c);
-    ++pos_;
-  }
-
-  JsonValue ParseValue() {
-    const char c = Peek();
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    return ParseNumber();
-  }
-
-  JsonValue ParseObject() {
-    JsonValue value;
-    value.type = JsonValue::Type::kObject;
-    Expect('{');
-    if (Peek() == '}') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      const JsonValue key = ParseString();
-      Expect(':');
-      value.object[key.string] = ParseValue();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect('}');
-      return value;
-    }
-  }
-
-  JsonValue ParseArray() {
-    JsonValue value;
-    value.type = JsonValue::Type::kArray;
-    Expect('[');
-    if (Peek() == ']') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      value.array.push_back(ParseValue());
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect(']');
-      return value;
-    }
-  }
-
-  JsonValue ParseString() {
-    JsonValue value;
-    value.type = JsonValue::Type::kString;
-    Expect('"');
-    while (true) {
-      CHECK(pos_ < text_.size());
-      const char c = text_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        CHECK(pos_ < text_.size());
-        const char escaped = text_[pos_++];
-        switch (escaped) {
-          case 'n':
-            value.string += '\n';
-            break;
-          case 't':
-            value.string += '\t';
-            break;
-          case 'r':
-            value.string += '\r';
-            break;
-          case 'u':
-            CHECK(pos_ + 4 <= text_.size());
-            pos_ += 4;  // Control characters only; drop them.
-            break;
-          default:
-            value.string += escaped;  // \" \\ \/
-        }
-      } else {
-        value.string += c;
-      }
-    }
-    return value;
-  }
-
-  JsonValue ParseBool() {
-    JsonValue value;
-    value.type = JsonValue::Type::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      value.boolean = true;
-      pos_ += 4;
-    } else {
-      CHECK(text_.compare(pos_, 5, "false") == 0);
-      pos_ += 5;
-    }
-    return value;
-  }
-
-  JsonValue ParseNull() {
-    CHECK(text_.compare(pos_, 4, "null") == 0);
-    pos_ += 4;
-    return JsonValue();
-  }
-
-  JsonValue ParseNumber() {
-    JsonValue value;
-    value.type = JsonValue::Type::kNumber;
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    CHECK(pos_ > start);
-    value.number = std::atof(text_.substr(start, pos_ - start).c_str());
-    return value;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+  return root;
+}
 
 // --- (a) Registry completeness ----------------------------------------------
 
 void TestRegistryHasAllExperiments() {
   const std::vector<const bench::Experiment*> all =
       bench::Registry::Instance().All();
-  CHECK(all.size() == 16);
+  CHECK(all.size() == 17);
 
   std::set<std::string> ids;
   for (const bench::Experiment* experiment : all) {
@@ -211,12 +51,32 @@ void TestRegistryHasAllExperiments() {
   for (const char* id :
        {"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
         "fig11", "fig12", "fig13", "table2", "table3", "pcie_model_checks",
-        "ablation_rtt", "ablation_worker_size", "ablation_compression"}) {
+        "ablation_rtt", "ablation_worker_size", "ablation_compression",
+        "scan_throughput"}) {
     CHECK(ids.count(id) == 1);
     CHECK(bench::Registry::Instance().Find(id) != nullptr);
   }
   CHECK(bench::Registry::Instance().Find("fig13")->has_selfcheck);
+  CHECK(bench::Registry::Instance().Find("scan_throughput")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("no_such_experiment") == nullptr);
+}
+
+// --- The shared JSON reader's failure modes ---------------------------------
+
+void TestJsonReaderRejectsGarbage() {
+  JsonValue value;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1, 2", "{\"a\": }", "\"unterminated", "{} trailing",
+        "nul", "{\"a\": 1e}", "--3"}) {
+    CHECK(!bench::ParseJson(bad, &value, &error));
+    CHECK(!error.empty());
+  }
+  CHECK(bench::ParseJson("{\"a\": [1, -2.5e3, null, true]}", &value, &error));
+  CHECK(value.At("a").array.size() == 4);
+  CHECK(value.At("a").array[1].number == -2500.0);
+  CHECK(value.Find("missing") == nullptr);
+  CHECK(value.At("a").array[0].Find("x") == nullptr);  // Non-object Find.
 }
 
 // --- (b) fig09 JSON vs table ------------------------------------------------
@@ -239,16 +99,20 @@ bench::Report RunFig09() {
 
 void TestFig09JsonMatchesTable() {
   const bench::Report report = RunFig09();
-  const JsonValue root = JsonParser(bench::RenderJson(report)).Parse();
+  const JsonValue root = ParseOrDie(bench::RenderJson(report));
 
   // Schema-versioned envelope with the run metadata.
   CHECK(root.At("schema").string == bench::kReportSchemaName);
   CHECK(root.At("schema_version").number == bench::kReportSchemaVersion);
+  CHECK(bench::kReportSchemaVersion == 2);
   CHECK(root.At("experiment").At("id").string == "fig09");
   CHECK(root.At("run").At("scale").number == 8192);
   CHECK(root.At("run").At("sources").number == 2);
   CHECK(root.At("run").At("threads").number == 2);
   CHECK(root.At("run").At("data_source").string == "generated-analogs");
+  // v2: wall-clock duration is part of the run metadata. This report
+  // was built outside the driver, so the stamp is the 0 default.
+  CHECK(root.At("run").At("duration_ns").number == 0);
   CHECK(!root.At("run").At("build").string.empty());
 
   // Every JSON speedup value must re-render to exactly the table cell:
@@ -350,6 +214,7 @@ void TestOptionsPrecedence() {
 
 int main() {
   emogi::TestRegistryHasAllExperiments();
+  emogi::TestJsonReaderRejectsGarbage();
   emogi::TestFig09JsonMatchesTable();
   emogi::TestOptionsPrecedence();
   std::printf("test_bench_report: OK\n");

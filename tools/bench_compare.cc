@@ -1,0 +1,266 @@
+// Compares two single-report `emogi-bench-report` JSON documents (as
+// written by `emogi_bench run <id> --format=json --out FILE`) metric by
+// metric, for regression-gating a run against a checked-in baseline.
+//
+//   bench_compare BASELINE.json CANDIDATE.json [--tolerance METRIC=PCT]...
+//
+// Simulated metrics are deterministic functions of (scale, sources), so
+// the default comparison is exact on the JSON number (the sink emits
+// shortest-round-trip doubles; equal simulations produce equal bytes).
+// Wall-clock-derived metrics -- anything in edges/s, any metric named
+// *per_sec* or *duration*, and speedup_vs_virtual -- are machine-
+// dependent and get a relative tolerance of 20% unless --tolerance
+// overrides it for that metric name (PCT may be fractional; 0 = exact).
+//
+// Exit codes: 0 reports match, 1 metric mismatch / missing metric,
+// 2 usage, I/O, parse, or incomparable runs (different experiment id,
+// scale, or sources).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+
+namespace emogi {
+namespace {
+
+using bench::JsonValue;
+
+struct MetricKey {
+  std::string symbol;
+  std::string mode;
+  std::string metric;
+
+  bool operator<(const MetricKey& other) const {
+    if (symbol != other.symbol) return symbol < other.symbol;
+    if (mode != other.mode) return mode < other.mode;
+    return metric < other.metric;
+  }
+  std::string ToString() const {
+    return "symbol='" + symbol + "' mode='" + mode + "' metric='" + metric +
+           "'";
+  }
+};
+
+struct MetricEntry {
+  double value = 0;
+  std::string unit;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare BASELINE.json CANDIDATE.json "
+      "[--tolerance METRIC=PCT]...\n"
+      "\n"
+      "Compares two emogi-bench-report documents. Simulated metrics must\n"
+      "match exactly; wall-clock metrics (edges/s, *per_sec*, *duration*,\n"
+      "speedup_vs_virtual) default to a 20%% relative tolerance.\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char buffer[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+// Loads `path`, requiring a single-report document of the known schema.
+bool LoadReport(const std::string& path, JsonValue* root) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!bench::ParseJson(text, root, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  const JsonValue* schema = root->Find("schema");
+  if (schema == nullptr || schema->string != "emogi-bench-report") {
+    std::fprintf(stderr,
+                 "bench_compare: %s is not a single emogi-bench-report "
+                 "document (run one experiment with --format=json)\n",
+                 path.c_str());
+    return false;
+  }
+  if (root->Find("experiment") == nullptr || root->Find("run") == nullptr ||
+      root->Find("metrics") == nullptr) {
+    std::fprintf(stderr, "bench_compare: %s: missing report fields\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool CollectMetrics(const JsonValue& root, const std::string& path,
+                    std::map<MetricKey, MetricEntry>* metrics) {
+  for (const JsonValue& row : root.At("metrics").array) {
+    const JsonValue* symbol = row.Find("symbol");
+    const JsonValue* mode = row.Find("mode");
+    const JsonValue* metric = row.Find("metric");
+    const JsonValue* value = row.Find("value");
+    if (symbol == nullptr || mode == nullptr || metric == nullptr ||
+        value == nullptr) {
+      std::fprintf(stderr, "bench_compare: %s: malformed metric row\n",
+                   path.c_str());
+      return false;
+    }
+    MetricKey key{symbol->string, mode->string, metric->string};
+    MetricEntry entry;
+    entry.value = value->number;
+    if (const JsonValue* unit = row.Find("unit")) entry.unit = unit->string;
+    (*metrics)[key] = entry;
+  }
+  return true;
+}
+
+// Wall-clock-derived metrics are the only nondeterministic rows in a
+// report (schema v2 marks throughput via the edges/s unit).
+bool IsWallClockMetric(const MetricKey& key, const MetricEntry& entry) {
+  return entry.unit == "edges/s" ||
+         key.metric.find("per_sec") != std::string::npos ||
+         key.metric.find("duration") != std::string::npos ||
+         key.metric == "speedup_vs_virtual";
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::map<std::string, double> tolerance_by_metric;  // Percent.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage();
+    if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --tolerance needs METRIC=PCT\n");
+        return 2;
+      }
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      char* end = nullptr;
+      const double pct =
+          eq == std::string::npos
+              ? -1
+              : std::strtod(spec.c_str() + eq + 1, &end);
+      if (eq == std::string::npos || eq == 0 || end == nullptr ||
+          *end != '\0' || pct < 0) {
+        std::fprintf(stderr,
+                     "bench_compare: bad --tolerance '%s' (want METRIC=PCT "
+                     "with PCT >= 0)\n",
+                     spec.c_str());
+        return 2;
+      }
+      tolerance_by_metric[spec.substr(0, eq)] = pct;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+    paths.push_back(arg);
+  }
+  if (paths.size() != 2) return Usage();
+
+  JsonValue baseline, candidate;
+  if (!LoadReport(paths[0], &baseline) || !LoadReport(paths[1], &candidate)) {
+    return 2;
+  }
+
+  // Different experiments, scales, or source counts produce legitimately
+  // different numbers -- comparing them is a harness bug, not a
+  // regression.
+  const std::string baseline_id = baseline.At("experiment").At("id").string;
+  const std::string candidate_id = candidate.At("experiment").At("id").string;
+  if (baseline_id != candidate_id) {
+    std::fprintf(stderr,
+                 "bench_compare: experiment ids differ ('%s' vs '%s')\n",
+                 baseline_id.c_str(), candidate_id.c_str());
+    return 2;
+  }
+  for (const char* knob : {"scale", "sources"}) {
+    const double b = baseline.At("run").At(knob).number;
+    const double c = candidate.At("run").At(knob).number;
+    if (b != c) {
+      std::fprintf(stderr,
+                   "bench_compare: runs are incomparable: %s %g vs %g\n",
+                   knob, b, c);
+      return 2;
+    }
+  }
+
+  std::map<MetricKey, MetricEntry> baseline_metrics, candidate_metrics;
+  if (!CollectMetrics(baseline, paths[0], &baseline_metrics) ||
+      !CollectMetrics(candidate, paths[1], &candidate_metrics)) {
+    return 2;
+  }
+
+  int mismatches = 0;
+  int compared = 0;
+  for (const auto& [key, expected] : baseline_metrics) {
+    const auto found = candidate_metrics.find(key);
+    if (found == candidate_metrics.end()) {
+      std::fprintf(stderr, "MISSING  %s (baseline %.17g)\n",
+                   key.ToString().c_str(), expected.value);
+      ++mismatches;
+      continue;
+    }
+    const MetricEntry& actual = found->second;
+    ++compared;
+    double tolerance_pct = IsWallClockMetric(key, expected) ? 20.0 : 0.0;
+    const auto override_it = tolerance_by_metric.find(key.metric);
+    if (override_it != tolerance_by_metric.end()) {
+      tolerance_pct = override_it->second;
+    }
+    bool ok;
+    if (tolerance_pct == 0) {
+      ok = actual.value == expected.value;
+    } else {
+      const double magnitude = std::fabs(expected.value);
+      ok = std::fabs(actual.value - expected.value) <=
+           magnitude * tolerance_pct / 100.0;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "MISMATCH %s: baseline %.17g, candidate %.17g "
+                   "(tolerance %g%%)\n",
+                   key.ToString().c_str(), expected.value, actual.value,
+                   tolerance_pct);
+      ++mismatches;
+    }
+  }
+  for (const auto& [key, entry] : candidate_metrics) {
+    if (baseline_metrics.count(key) == 0) {
+      std::fprintf(stderr, "warning: candidate-only metric %s (%.17g)\n",
+                   key.ToString().c_str(), entry.value);
+    }
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "bench_compare: %d of %d metrics FAILED (%s)\n",
+                 mismatches, static_cast<int>(baseline_metrics.size()),
+                 baseline_id.c_str());
+    return 1;
+  }
+  std::printf("bench_compare: %d metrics match (%s)\n", compared,
+              baseline_id.c_str());
+  return 0;
+}
+
+}  // namespace emogi
+
+int main(int argc, char** argv) { return emogi::Main(argc, argv); }
