@@ -58,6 +58,16 @@ echo "=== regression gate: fig09 vs checked-in baseline ==="
   build/BENCH_fig09_analogs.json
 
 echo
+echo "=== regression gate: fig11 vs checked-in baseline ==="
+# Same contract as fig09: the BFS/SSSP/CC application sweep is a
+# deterministic function of (scale, sources), so every metric must match
+# the checked-in baseline byte-for-byte.
+./build/emogi_bench run fig11 --scale 4096 --sources 2 \
+  --format=json --out build/BENCH_fig11_analogs.json
+./build/bench_compare bench/baselines/BENCH_fig11.json \
+  build/BENCH_fig11_analogs.json
+
+echo
 echo "=== scan throughput: monomorphized vs virtual dispatch ==="
 # --selfcheck gates byte-identity of the static engine/accountant
 # against the virtual seam; the timed run then records host edges/s in
@@ -75,6 +85,30 @@ awk -F, '$4 == "speedup_vs_virtual" && $5 > max { max = $5 }
            printf "max speedup_vs_virtual: %.2fx\n", max
            exit (max >= 3.0 ? 0 : 1)
          }' build/BENCH_scan_throughput.csv
+
+echo
+echo "=== query throughput: K-lane batched serving vs sequential ==="
+# --selfcheck gates parity: every batched query's levels/distances and
+# per-query visit counts must be byte-identical to a dedicated
+# single-source run, at every K and access mode. The timed run then
+# records queries/s and the scan-amortization ratio; at K=32 the batched
+# path must amortize >= 2x the edge scans and serve >= 1.5x the
+# queries/s of K=1 on at least one symbol x mode.
+./build/emogi_bench run query_throughput --scale 16384 --sources 1 --selfcheck
+./build/emogi_bench run query_throughput --scale 16384 --sources 1 \
+  --format=json --out build/BENCH_query_throughput.json
+./build/emogi_bench run query_throughput --scale 16384 --sources 1 \
+  --format=csv --out build/BENCH_query_throughput.csv
+awk -F, '$4 == "amortization_k32" && $5 > max { max = $5 }
+         END {
+           printf "max amortization_k32: %.2fx\n", max
+           exit (max >= 2.0 ? 0 : 1)
+         }' build/BENCH_query_throughput.csv
+awk -F, '$4 == "queries_per_sec_speedup_k32" && $5 > max { max = $5 }
+         END {
+           printf "max queries_per_sec_speedup_k32: %.2fx\n", max
+           exit (max >= 1.5 ? 0 : 1)
+         }' build/BENCH_query_throughput.csv
 
 echo
 echo "=== multi-GPU sanity: 1-vs-4-device parity and speedup ==="

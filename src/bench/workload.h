@@ -13,6 +13,7 @@
 #include "core/stats.h"
 #include "graph/csr.h"
 #include "graph/datasets.h"
+#include "runtime/query_batcher.h"
 
 namespace emogi::bench {
 
@@ -51,6 +52,16 @@ double MeanTimeNs(const std::vector<core::TraversalStats>& runs);
 double MeanTimeOverSourcesNs(
     const std::vector<graph::VertexId>& sources, int threads,
     const std::function<double(graph::VertexId)>& run_one);
+
+// Deterministic serving workload for the batching experiments: `count`
+// traversal queries whose sources are drawn pseudo-randomly (seeded,
+// splitmix64) from the graph's nonzero-out-degree vertices, with
+// `sssp_fraction` of them SSSP and the rest BFS. The same (graph, count,
+// seed, fraction) always yields the same stream, so batched and
+// sequential servings of it are directly comparable.
+std::vector<runtime::TraversalQuery> GenerateQueryWorkload(
+    const graph::Csr& csr, int count, std::uint64_t seed,
+    double sssp_fraction);
 
 }  // namespace emogi::bench
 

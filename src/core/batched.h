@@ -1,0 +1,148 @@
+// Multi-source (batched) traversal policies: K concurrent queries as
+// one amortized frontier sweep.
+//
+// When K queries run against the same resident CSR, the expensive part
+// of every iteration -- streaming a frontier vertex's neighbor list over
+// the PCIe link -- is identical work for every query whose frontier
+// contains that vertex. The policies here run MS-BFS-style: per-vertex
+// state is a K-wide lane bitmask (`LaneMask`, one bit per query, K <=
+// 64 per wave), the engine's frontier is the *union* of the per-lane
+// frontiers, and one `OnListScan` of a vertex's adjacency list expands
+// every lane whose bit is set -- so the accountant is charged exactly
+// once for the shared scan while per-lane bookkeeping (levels,
+// distances, per-query visit counts) stays exact.
+//
+// These are ordinary engine policies (the frontier-loop contract of
+// core/engine.h), so they ride the existing monomorphization for free:
+// `DispatchRun(csr, config, batched_policy)` instantiates the static
+// (batched-policy x access-mode) engine the same way the single-source
+// policies do, with the mode's cost model inlined into the shared scan.
+//
+// Lane-exactness contracts (enforced by tests/test_query_batcher.cc):
+//
+//  * BatchedBfsPolicy: level-synchronous, all lanes advance in lockstep
+//    by depth. For every lane, `levels(lane)` and `lane_edges(lane)`
+//    are byte-identical to a single-source BfsPolicy run from that
+//    lane's source, for any K and any lane packing; at K = 1 the whole
+//    scan sequence (and therefore TraversalStats) is byte-identical to
+//    BfsPolicy's.
+//
+//  * BatchedSsspPolicy: Bellman-Ford with *iteration-start* relaxation
+//    (each frontier vertex relaxes from the distance it had when the
+//    iteration's frontier was installed). That makes every lane's
+//    trajectory independent of the union frontier's scan order, so a
+//    K-lane run is byte-identical -- distances and per-lane visit
+//    counts -- to K independent 1-lane runs of this same policy. The
+//    single-source SsspPolicy instead relaxes from live distances
+//    (in-iteration improvements propagate within the same kernel), so
+//    against it only the converged `distances(lane)` are guaranteed
+//    equal (both run min-relaxation to the same fixpoint); visit counts
+//    can legitimately differ by a few in-iteration shortcuts. CC is
+//    deliberately not batched: it has no per-query source (every run
+//    answers the same question), so batching cannot amortize anything.
+
+#ifndef EMOGI_CORE_BATCHED_H_
+#define EMOGI_CORE_BATCHED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/csr.h"
+
+namespace emogi::core {
+
+// One bit per concurrent query in a wave.
+using LaneMask = std::uint64_t;
+
+// Hard per-wave lane limit (the LaneMask width).
+inline constexpr int kMaxBatchLanes = 64;
+
+// Index of the lowest set bit; `mask` must be nonzero.
+inline int LowestLane(LaneMask mask) { return __builtin_ctzll(mask); }
+
+// Multi-source level-synchronous BFS: one engine run answers
+// sources.size() BFS queries. Per-vertex lane masks track which queries
+// have the vertex on their current/next frontier and which have already
+// discovered it.
+class BatchedBfsPolicy {
+ public:
+  static constexpr bool kStreamsWeights = false;
+
+  // 1 <= sources.size() <= kMaxBatchLanes; lane i answers sources[i].
+  // Duplicate sources are allowed (the lanes simply shadow each other).
+  BatchedBfsPolicy(const graph::Csr& csr,
+                   const std::vector<graph::VertexId>& sources);
+
+  void InitFrontier(std::vector<graph::VertexId>* frontier);
+  void Expand(graph::VertexId v, std::vector<graph::VertexId>* next);
+  void NextFrontier(std::vector<graph::VertexId>* frontier,
+                    std::vector<graph::VertexId>* next);
+  std::uint64_t DatasetBytes() const;
+
+  int lanes() const { return lanes_; }
+  // Lane `lane`'s BFS levels (kNoLevel if unreachable), identical to a
+  // single-source run from sources[lane].
+  std::vector<std::uint32_t>& levels(int lane) { return levels_[lane]; }
+  // Edges this lane's own frontier scanned: the degree sum of the
+  // vertices it expanded -- what a dedicated single-source run would
+  // have charged the accountant for.
+  std::uint64_t lane_edges(int lane) const { return lane_edges_[lane]; }
+  // Edges the shared sweep actually scanned (union frontiers, each
+  // shared scan once) -- what the accountant was charged for. The
+  // amortization ratio is sum(lane_edges) / union_edges.
+  std::uint64_t union_edges() const { return union_edges_; }
+
+ private:
+  const graph::Csr& csr_;
+  int lanes_;
+  std::vector<graph::VertexId> sources_;
+  std::uint32_t depth_ = 0;
+  std::vector<LaneMask> frontier_mask_;  // Lanes scanning v this kernel.
+  std::vector<LaneMask> next_mask_;      // Lanes that discovered v this kernel.
+  std::vector<LaneMask> seen_;           // Lanes that ever discovered v.
+  std::vector<std::vector<std::uint32_t>> levels_;  // [lane][vertex].
+  std::vector<std::uint64_t> lane_edges_;           // [lane].
+  std::uint64_t union_edges_ = 0;
+};
+
+// Multi-source Bellman-Ford SSSP with iteration-start relaxation (see
+// the header comment for the exactness contract).
+class BatchedSsspPolicy {
+ public:
+  static constexpr bool kStreamsWeights = true;
+
+  BatchedSsspPolicy(const graph::Csr& csr,
+                    const std::vector<graph::VertexId>& sources);
+
+  void InitFrontier(std::vector<graph::VertexId>* frontier);
+  void Expand(graph::VertexId v, std::vector<graph::VertexId>* next);
+  void NextFrontier(std::vector<graph::VertexId>* frontier,
+                    std::vector<graph::VertexId>* next);
+  std::uint64_t DatasetBytes() const;
+
+  int lanes() const { return lanes_; }
+  // Lane `lane`'s shortest-path distances (kInfDistance if
+  // unreachable), equal to a single-source run from sources[lane].
+  std::vector<std::uint64_t>& distances(int lane) { return dist_[lane]; }
+  std::uint64_t lane_edges(int lane) const { return lane_edges_[lane]; }
+  std::uint64_t union_edges() const { return union_edges_; }
+
+ private:
+  const graph::Csr& csr_;
+  int lanes_;
+  std::vector<graph::VertexId> sources_;
+  std::vector<LaneMask> frontier_mask_;
+  std::vector<LaneMask> next_mask_;
+  std::vector<std::vector<std::uint64_t>> dist_;  // [lane][vertex], live.
+  // [lane][vertex]: the distance a frontier vertex relaxes from this
+  // iteration -- snapshotted when the frontier is installed, so lane
+  // trajectories are independent of the union frontier's scan order.
+  std::vector<std::vector<std::uint64_t>> base_;
+  std::vector<std::uint64_t> lane_edges_;
+  std::uint64_t union_edges_ = 0;
+};
+
+}  // namespace emogi::core
+
+#endif  // EMOGI_CORE_BATCHED_H_

@@ -1,0 +1,136 @@
+#include "runtime/query_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/engine.h"
+#include "runtime/sweep_runner.h"
+
+namespace emogi::runtime {
+namespace {
+
+// One wave's membership: which input queries it serves, lane i ==
+// member_queries[i].
+struct WavePlan {
+  QueryKind kind = QueryKind::kBfs;
+  std::vector<std::size_t> member_queries;
+};
+
+// Greedy arrival-order packing: an open wave per kind, flushed at
+// max_lanes. Pure function of the input stream, so the wave/lane
+// assignment every result reports is deterministic.
+std::vector<WavePlan> PackWaves(const std::vector<TraversalQuery>& queries,
+                                int max_lanes) {
+  std::vector<WavePlan> waves;
+  int open[2] = {-1, -1};  // Open wave index per kind, -1 when none.
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const int kind_index = queries[q].kind == QueryKind::kBfs ? 0 : 1;
+    if (open[kind_index] < 0 ||
+        static_cast<int>(waves[open[kind_index]].member_queries.size()) >=
+            max_lanes) {
+      open[kind_index] = static_cast<int>(waves.size());
+      waves.push_back(WavePlan{queries[q].kind, {}});
+    }
+    waves[open[kind_index]].member_queries.push_back(q);
+  }
+  return waves;
+}
+
+// What one wave's engine run produced, per lane.
+struct WaveOutcome {
+  core::TraversalStats stats;
+  std::vector<std::vector<std::uint32_t>> levels;     // BFS waves.
+  std::vector<std::vector<std::uint64_t>> distances;  // SSSP waves.
+  std::vector<std::uint64_t> lane_edges;
+  std::uint64_t union_edges = 0;
+};
+
+}  // namespace
+
+const char* ToString(QueryKind kind) {
+  return kind == QueryKind::kBfs ? "BFS" : "SSSP";
+}
+
+std::uint64_t BatchRunStats::EdgesScanned() const {
+  std::uint64_t edges = 0;
+  for (const WaveStats& wave : waves) edges += wave.union_edges;
+  return edges;
+}
+
+double BatchRunStats::SimulatedNs() const {
+  double ns = 0;
+  for (const WaveStats& wave : waves) ns += wave.stats.total_time_ns;
+  return ns;
+}
+
+QueryBatcher::QueryBatcher(const graph::Csr& csr,
+                           const core::EmogiConfig& config, int max_lanes,
+                           int threads)
+    : csr_(csr),
+      config_(config),
+      max_lanes_(std::clamp(max_lanes, 1, core::kMaxBatchLanes)),
+      threads_(threads) {}
+
+std::vector<QueryResult> QueryBatcher::Run(
+    const std::vector<TraversalQuery>& queries,
+    BatchRunStats* batch_stats) const {
+  const std::vector<WavePlan> waves = PackWaves(queries, max_lanes_);
+
+  SweepRunner runner(threads_);
+  std::vector<WaveOutcome> outcomes =
+      runner.Run(waves.size(), [&](std::size_t w) {
+        const WavePlan& wave = waves[w];
+        std::vector<graph::VertexId> sources;
+        sources.reserve(wave.member_queries.size());
+        for (const std::size_t q : wave.member_queries) {
+          sources.push_back(queries[q].source);
+        }
+        WaveOutcome outcome;
+        if (wave.kind == QueryKind::kBfs) {
+          core::BatchedBfsPolicy policy(csr_, sources);
+          outcome.stats = core::DispatchRun(csr_, config_, policy);
+          outcome.union_edges = policy.union_edges();
+          for (int lane = 0; lane < policy.lanes(); ++lane) {
+            outcome.levels.push_back(std::move(policy.levels(lane)));
+            outcome.lane_edges.push_back(policy.lane_edges(lane));
+          }
+        } else {
+          core::BatchedSsspPolicy policy(csr_, sources);
+          outcome.stats = core::DispatchRun(csr_, config_, policy);
+          outcome.union_edges = policy.union_edges();
+          for (int lane = 0; lane < policy.lanes(); ++lane) {
+            outcome.distances.push_back(std::move(policy.distances(lane)));
+            outcome.lane_edges.push_back(policy.lane_edges(lane));
+          }
+        }
+        return outcome;
+      });
+
+  std::vector<QueryResult> results(queries.size());
+  if (batch_stats != nullptr) batch_stats->waves.clear();
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    const WavePlan& wave = waves[w];
+    WaveOutcome& outcome = outcomes[w];
+    for (std::size_t lane = 0; lane < wave.member_queries.size(); ++lane) {
+      QueryResult& result = results[wave.member_queries[lane]];
+      result.kind = wave.kind;
+      result.source = queries[wave.member_queries[lane]].source;
+      result.wave = static_cast<int>(w);
+      result.lane = static_cast<int>(lane);
+      result.edges_scanned = outcome.lane_edges[lane];
+      if (wave.kind == QueryKind::kBfs) {
+        result.levels = std::move(outcome.levels[lane]);
+      } else {
+        result.distances = std::move(outcome.distances[lane]);
+      }
+    }
+    if (batch_stats != nullptr) {
+      batch_stats->waves.push_back(
+          WaveStats{wave.kind, static_cast<int>(wave.member_queries.size()),
+                    outcome.stats, outcome.union_edges});
+    }
+  }
+  return results;
+}
+
+}  // namespace emogi::runtime

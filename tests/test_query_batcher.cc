@@ -1,0 +1,272 @@
+// The batched multi-source engine path must be a drop-in for K
+// independent single-source runs:
+//
+//  (a) BFS: per-lane levels AND per-lane visit counts byte-identical to
+//      a single-source BfsPolicy run, for every access mode, at K = 1
+//      up to K = 64; a 1-lane batched BFS run is byte-identical in
+//      TraversalStats too (same scan sequence, same accountant charges).
+//  (b) SSSP: per-lane distances byte-identical to a single-source
+//      SsspPolicy run; per-lane visit counts and distances byte-
+//      identical to a 1-lane run of the batched policy itself (its
+//      iteration-start relaxation is order-independent, so K-lane ==
+//      K x 1-lane exactly -- see core/batched.h for why live-relaxation
+//      visit counts can differ).
+//  (c) QueryBatcher: results in input order, wave packing respects K,
+//      and the whole serving -- results, per-query visit counts, and
+//      per-wave TraversalStats -- is byte-identical at every thread
+//      count (the TSan CI job runs this file to prove the fan-out is
+//      also race-free).
+//  (d) Amortization accounting: union_edges <= sum of lane edges, with
+//      equality exactly when no scan was shared.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/batched.h"
+#include "core/engine.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "runtime/query_batcher.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+const std::vector<core::EmogiConfig>& AllModes() {
+  static const std::vector<core::EmogiConfig>* modes =
+      new std::vector<core::EmogiConfig>{
+          core::EmogiConfig::Uvm(), core::EmogiConfig::Naive(),
+          core::EmogiConfig::Merged(), core::EmogiConfig::MergedAligned()};
+  return *modes;
+}
+
+// `count` distinct-ish sources cycled from the deterministic pick.
+std::vector<graph::VertexId> CycledSources(const graph::Csr& csr, int count) {
+  const std::vector<graph::VertexId> pool = graph::PickSources(csr, 8);
+  std::vector<graph::VertexId> sources;
+  sources.reserve(count);
+  for (int i = 0; i < count; ++i) sources.push_back(pool[i % pool.size()]);
+  return sources;
+}
+
+std::uint64_t ReachedDegreeSum(const graph::Csr& csr,
+                               const std::vector<std::uint32_t>& levels) {
+  std::uint64_t sum = 0;
+  for (graph::VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (levels[v] != core::kNoLevel) sum += csr.Degree(v);
+  }
+  return sum;
+}
+
+// --- (a) + (b): batched policies vs single-source runs ----------------------
+
+void CheckBatchedBfsParity(const graph::Csr& csr,
+                           const core::EmogiConfig& config, int lanes) {
+  const std::vector<graph::VertexId> sources = CycledSources(csr, lanes);
+
+  core::BatchedBfsPolicy batched(csr, sources);
+  const core::TraversalStats batched_stats =
+      core::DispatchRun(csr, config, batched);
+
+  std::uint64_t lane_edge_sum = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    core::BfsPolicy single(csr, sources[lane]);
+    const core::TraversalStats single_stats =
+        core::DispatchRun(csr, config, single);
+    CHECK(batched.levels(lane) == single.levels());
+    // A lane's visit count is exactly what its dedicated run was
+    // charged: the reached set's degree sum.
+    CHECK(batched.lane_edges(lane) ==
+          ReachedDegreeSum(csr, single.levels()));
+    lane_edge_sum += batched.lane_edges(lane);
+    if (lanes == 1) {
+      // One lane == the identical scan sequence == identical stats,
+      // doubles included.
+      CHECK(batched_stats == single_stats);
+    }
+  }
+  CHECK(batched.union_edges() <= lane_edge_sum);
+  CHECK(batched_stats.kernels > 0);
+}
+
+void CheckBatchedSsspParity(const graph::Csr& csr,
+                            const core::EmogiConfig& config, int lanes) {
+  const std::vector<graph::VertexId> sources = CycledSources(csr, lanes);
+
+  core::BatchedSsspPolicy batched(csr, sources);
+  core::DispatchRun(csr, config, batched);
+
+  std::uint64_t lane_edge_sum = 0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    // Converged distances match the sequential single-source path...
+    core::SsspPolicy single(csr, sources[lane]);
+    core::DispatchRun(csr, config, single);
+    CHECK(batched.distances(lane) == single.distances());
+
+    // ...and the full trajectory (distances + visit counts) matches a
+    // 1-lane run of the batched policy: lane-exactness.
+    core::BatchedSsspPolicy one_lane(csr, {sources[lane]});
+    core::DispatchRun(csr, config, one_lane);
+    CHECK(batched.distances(lane) == one_lane.distances(0));
+    CHECK(batched.lane_edges(lane) == one_lane.lane_edges(0));
+    lane_edge_sum += batched.lane_edges(lane);
+  }
+  CHECK(batched.union_edges() <= lane_edge_sum);
+}
+
+void TestBatchedPolicyParity() {
+  const graph::Csr small = graph::GenerateUniformRandom(1 << 10, 8, 7);
+  const graph::Csr gk = graph::LoadOrGenerateDataset("GK", 16384);
+
+  for (core::EmogiConfig config : AllModes()) {
+    config.device.scale_factor = 1 << 14;  // Out-of-memory regime.
+    for (const int lanes : {1, 2, 7, 64}) {
+      CheckBatchedBfsParity(small, config, lanes);
+      CheckBatchedBfsParity(gk, config, lanes);
+      CheckBatchedSsspParity(small, config, lanes);
+      CheckBatchedSsspParity(gk, config, lanes);
+    }
+  }
+}
+
+// A vertex reached by two lanes at *different* depths is scanned twice
+// (amortization only shares coincident frontiers): line 0 -> 1 -> 2,
+// sources 0 and 1. Union scans: depth 0 scans {0} and {1}, depth 1
+// scans {1} (lane 0) and {2} (lane 1, degree 0), depth 2 scans {2}.
+void TestDivergentFrontiersScanSeparately() {
+  const graph::Csr line({0, 1, 2, 2}, {1, 2}, true, "line");
+  core::BatchedBfsPolicy batched(line, {0, 1});
+  core::DispatchRun(line, core::EmogiConfig::MergedAligned(), batched);
+  CHECK(batched.lane_edges(0) == 2);  // Lane 0 expands 0 and 1.
+  CHECK(batched.lane_edges(1) == 1);  // Lane 1 expands 1 and 2.
+  CHECK(batched.union_edges() == 3);  // Nothing coincided: 2 + 1.
+
+  // Same sources, same depth: everything after the first level shares.
+  core::BatchedBfsPolicy shared(line, {0, 0});
+  core::DispatchRun(line, core::EmogiConfig::MergedAligned(), shared);
+  CHECK(shared.lane_edges(0) == 2);
+  CHECK(shared.lane_edges(1) == 2);
+  CHECK(shared.union_edges() == 2);  // Fully amortized.
+}
+
+// --- (c): QueryBatcher serving ----------------------------------------------
+
+std::vector<runtime::TraversalQuery> MixedQueries(const graph::Csr& csr,
+                                                  int count) {
+  const std::vector<graph::VertexId> sources = CycledSources(csr, count);
+  std::vector<runtime::TraversalQuery> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    queries.push_back(runtime::TraversalQuery{
+        i % 3 == 2 ? runtime::QueryKind::kSssp : runtime::QueryKind::kBfs,
+        sources[i]});
+  }
+  return queries;
+}
+
+bool WaveStatsEqual(const runtime::BatchRunStats& a,
+                    const runtime::BatchRunStats& b) {
+  if (a.waves.size() != b.waves.size()) return false;
+  for (std::size_t w = 0; w < a.waves.size(); ++w) {
+    if (a.waves[w].kind != b.waves[w].kind) return false;
+    if (a.waves[w].lanes != b.waves[w].lanes) return false;
+    if (a.waves[w].union_edges != b.waves[w].union_edges) return false;
+    if (a.waves[w].stats != b.waves[w].stats) return false;
+  }
+  return true;
+}
+
+bool ResultsEqual(const std::vector<runtime::QueryResult>& a,
+                  const std::vector<runtime::QueryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    if (a[q].kind != b[q].kind || a[q].source != b[q].source ||
+        a[q].wave != b[q].wave || a[q].lane != b[q].lane ||
+        a[q].edges_scanned != b[q].edges_scanned ||
+        a[q].levels != b[q].levels || a[q].distances != b[q].distances) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TestQueryBatcherServing() {
+  const graph::Csr csr = graph::LoadOrGenerateDataset("GK", 16384);
+  const std::vector<runtime::TraversalQuery> queries = MixedQueries(csr, 23);
+
+  for (core::EmogiConfig config : AllModes()) {
+    config.device.scale_factor = 1 << 14;
+
+    for (const int k : {1, 8, 64}) {
+      // The reference serving: one worker.
+      const runtime::QueryBatcher reference_batcher(csr, config, k, 1);
+      runtime::BatchRunStats reference_stats;
+      const std::vector<runtime::QueryResult> reference =
+          reference_batcher.Run(queries, &reference_stats);
+
+      CHECK(reference.size() == queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const runtime::QueryResult& r = reference[q];
+        CHECK(r.kind == queries[q].kind);
+        CHECK(r.source == queries[q].source);
+        CHECK(r.wave >= 0 &&
+              r.wave < static_cast<int>(reference_stats.waves.size()));
+        CHECK(r.lane >= 0 && r.lane < k);
+        // Waves never mix kinds and never exceed K lanes.
+        CHECK(reference_stats.waves[r.wave].kind == r.kind);
+        CHECK(reference_stats.waves[r.wave].lanes <= k);
+        // Answers match a dedicated single-source run.
+        if (r.kind == runtime::QueryKind::kBfs) {
+          core::BfsPolicy single(csr, r.source);
+          core::DispatchRun(csr, config, single);
+          CHECK(r.levels == single.levels());
+          CHECK(r.edges_scanned == ReachedDegreeSum(csr, single.levels()));
+        } else {
+          core::SsspPolicy single(csr, r.source);
+          core::DispatchRun(csr, config, single);
+          CHECK(r.distances == single.distances());
+        }
+      }
+
+      // Byte-identical serving at any pool size (the EMOGI_THREADS
+      // seam): results, per-query visit counts, per-wave stats.
+      for (const int threads : {2, 5}) {
+        const runtime::QueryBatcher pooled(csr, config, k, threads);
+        runtime::BatchRunStats pooled_stats;
+        const std::vector<runtime::QueryResult> results =
+            pooled.Run(queries, &pooled_stats);
+        CHECK(ResultsEqual(results, reference));
+        CHECK(WaveStatsEqual(pooled_stats, reference_stats));
+      }
+    }
+
+    // Per-query visit counts are K-invariant (the lane-exactness
+    // contract): every K serves the same per-query edge charges.
+    runtime::BatchRunStats k1_stats, k64_stats;
+    const std::vector<runtime::QueryResult> k1 =
+        runtime::QueryBatcher(csr, config, 1, 1).Run(queries, &k1_stats);
+    const std::vector<runtime::QueryResult> k64 =
+        runtime::QueryBatcher(csr, config, 64, 1).Run(queries, &k64_stats);
+    std::uint64_t lane_edge_sum = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      CHECK(k1[q].edges_scanned == k64[q].edges_scanned);
+      lane_edge_sum += k64[q].edges_scanned;
+    }
+    // At K=1 nothing shares: union == per-query sum. At K=64 the
+    // coincident frontiers share scans.
+    CHECK(k1_stats.EdgesScanned() == lane_edge_sum);
+    CHECK(k64_stats.EdgesScanned() <= lane_edge_sum);
+    CHECK(k64_stats.waves.size() < k1_stats.waves.size());
+  }
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  emogi::TestBatchedPolicyParity();
+  emogi::TestDivergentFrontiersScanSeparately();
+  emogi::TestQueryBatcherServing();
+  std::printf("test_query_batcher: OK\n");
+  return 0;
+}

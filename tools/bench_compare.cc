@@ -152,16 +152,19 @@ int Main(int argc, char** argv) {
       }
       const std::string spec = argv[++i];
       const std::size_t eq = spec.find('=');
+      // Reject every malformed shape loudly instead of misbehaving:
+      // missing '=' or metric name, empty PCT (strtod consumes nothing),
+      // trailing garbage, negative, and the nan/inf spellings strtod
+      // accepts but no tolerance band can mean.
+      const char* pct_text =
+          eq == std::string::npos ? "" : spec.c_str() + eq + 1;
       char* end = nullptr;
-      const double pct =
-          eq == std::string::npos
-              ? -1
-              : std::strtod(spec.c_str() + eq + 1, &end);
-      if (eq == std::string::npos || eq == 0 || end == nullptr ||
-          *end != '\0' || pct < 0) {
+      const double pct = std::strtod(pct_text, &end);
+      if (eq == std::string::npos || eq == 0 || end == pct_text ||
+          *end != '\0' || !std::isfinite(pct) || pct < 0) {
         std::fprintf(stderr,
                      "bench_compare: bad --tolerance '%s' (want METRIC=PCT "
-                     "with PCT >= 0)\n",
+                     "with PCT a finite number >= 0)\n",
                      spec.c_str());
         return 2;
       }
