@@ -111,6 +111,42 @@ awk -F, '$4 == "queries_per_sec_speedup_k32" && $5 > max { max = $5 }
          }' build/BENCH_query_throughput.csv
 
 echo
+echo "=== regression gate: query_throughput vs checked-in baseline ==="
+# The checked-in baseline keeps only the deterministic rows (per-K edge
+# charges, amortization ratios, wave counts); the wall-clock queries/s
+# rows were stripped when it was generated, so every compared metric
+# must match exactly on any machine.
+./build/emogi_bench run query_throughput --scale 4096 --sources 2 \
+  --format=json --out build/BENCH_query_throughput_analogs.json
+./build/bench_compare bench/baselines/BENCH_query_throughput.json \
+  build/BENCH_query_throughput_analogs.json
+
+echo
+echo "=== serving latency: admission control + simulated tail latency ==="
+# --selfcheck gates: every served answer byte-identical to a dedicated
+# sequential run, the admission gates hold, and the multi-shard outcome
+# is byte-identical at thread counts {1, 2, 5}. The CSV gates then pin
+# the admission-control contract structurally: the nominal trace (its
+# count fits the queue bound) must reject nothing, and the overload
+# burst (whole trace at t=0 against a bound of 8) must reject > 0 --
+# both deterministic, not tuning-sensitive.
+./build/emogi_bench run serving_latency --scale 16384 --sources 1 --selfcheck
+./build/emogi_bench run serving_latency --scale 16384 --sources 1 \
+  --format=json --out build/BENCH_serving_latency.json
+./build/emogi_bench run serving_latency --scale 16384 --sources 1 \
+  --format=csv --out build/BENCH_serving_latency.csv
+awk -F, '$4 == "reject_rate" && $5 + 0 != 0 { bad = 1 }
+         END {
+           print (bad ? "nominal reject_rate != 0" : "nominal reject_rate: 0 everywhere")
+           exit bad
+         }' build/BENCH_serving_latency.csv
+awk -F, '$4 == "reject_rate_overload" && $5 > max { max = $5 }
+         END {
+           printf "max reject_rate_overload: %.3f\n", max
+           exit (max > 0 ? 0 : 1)
+         }' build/BENCH_serving_latency.csv
+
+echo
 echo "=== multi-GPU sanity: 1-vs-4-device parity and speedup ==="
 # --selfcheck exits nonzero unless the 1-device run is byte-identical to
 # the single-device engine and zero-copy speedup is monotonically

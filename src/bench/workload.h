@@ -14,6 +14,7 @@
 #include "graph/csr.h"
 #include "graph/datasets.h"
 #include "runtime/query_batcher.h"
+#include "serve/server.h"
 
 namespace emogi::bench {
 
@@ -62,6 +63,40 @@ double MeanTimeOverSourcesNs(
 std::vector<runtime::TraversalQuery> GenerateQueryWorkload(
     const graph::Csr& csr, int count, std::uint64_t seed,
     double sssp_fraction);
+
+// Shape of a serving trace: how many queries, what mix, and how they
+// arrive. The same spec over the same graphs always yields the same
+// trace (seeded splitmix64 throughout, no std:: distributions).
+struct ServeTraceSpec {
+  int count = 64;
+  std::uint64_t seed = 1;
+  // Query mix: cc_fraction of the stream is CC, sssp_fraction SSSP, the
+  // rest BFS. Callers keep cc_fraction at 0 for directed graphs.
+  double sssp_fraction = 0.25;
+  double cc_fraction = 0.0;
+  // Open-loop Poisson arrivals with this mean inter-arrival gap, in
+  // simulated ns; <= 0 makes a burst trace (everything arrives at
+  // t = 0, the admission-control stress case).
+  double mean_interarrival_ns = 0.0;
+  // Queueing deadline stamped on every request (0 = none).
+  std::uint64_t deadline_ns = 0;
+};
+
+// Timestamped open-loop trace for serve::Server::ServeTrace, spread
+// pseudo-uniformly over `graphs` (index = shard id); sources are drawn
+// from each graph's nonzero-out-degree vertices like
+// GenerateQueryWorkload. Entries are in arrival-time order.
+std::vector<serve::TimestampedRequest> GenerateArrivalTrace(
+    const std::vector<const graph::Csr*>& graphs, const ServeTraceSpec& spec);
+
+// Closed-loop workload for serve::Server::ServeClosedLoop: `clients`
+// request sequences of `queries_per_client` each, every client pinned
+// to one pseudo-randomly chosen shard (spec's arrival fields are
+// unused -- a closed-loop client's next arrival is its previous
+// completion).
+std::vector<std::vector<runtime::Request>> GenerateClosedLoopWorkload(
+    const std::vector<const graph::Csr*>& graphs, int clients,
+    int queries_per_client, const ServeTraceSpec& spec);
 
 }  // namespace emogi::bench
 

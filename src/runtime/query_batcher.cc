@@ -16,15 +16,29 @@ struct WavePlan {
   std::vector<std::size_t> member_queries;
 };
 
-// Greedy arrival-order packing: an open wave per kind, flushed at
-// max_lanes. Pure function of the input stream, so the wave/lane
-// assignment every result reports is deterministic.
-std::vector<WavePlan> PackWaves(const std::vector<TraversalQuery>& queries,
+int KindIndex(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kBfs:
+      return 0;
+    case QueryKind::kSssp:
+      return 1;
+    case QueryKind::kCc:
+      break;
+  }
+  return 2;
+}
+
+// Greedy arrival-order packing over the admitted (valid) queries: an
+// open wave per kind, flushed at max_lanes. Pure function of the input
+// stream, so the wave/lane assignment every result reports is
+// deterministic.
+std::vector<WavePlan> PackWaves(const std::vector<Request>& queries,
+                                const std::vector<std::size_t>& admitted,
                                 int max_lanes) {
   std::vector<WavePlan> waves;
-  int open[2] = {-1, -1};  // Open wave index per kind, -1 when none.
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    const int kind_index = queries[q].kind == QueryKind::kBfs ? 0 : 1;
+  int open[3] = {-1, -1, -1};  // Open wave index per kind, -1 when none.
+  for (const std::size_t q : admitted) {
+    const int kind_index = KindIndex(queries[q].kind);
     if (open[kind_index] < 0 ||
         static_cast<int>(waves[open[kind_index]].member_queries.size()) >=
             max_lanes) {
@@ -41,15 +55,12 @@ struct WaveOutcome {
   core::TraversalStats stats;
   std::vector<std::vector<std::uint32_t>> levels;     // BFS waves.
   std::vector<std::vector<std::uint64_t>> distances;  // SSSP waves.
+  std::vector<std::vector<graph::VertexId>> labels;   // CC waves.
   std::vector<std::uint64_t> lane_edges;
   std::uint64_t union_edges = 0;
 };
 
 }  // namespace
-
-const char* ToString(QueryKind kind) {
-  return kind == QueryKind::kBfs ? "BFS" : "SSSP";
-}
 
 std::uint64_t BatchRunStats::EdgesScanned() const {
   std::uint64_t edges = 0;
@@ -71,21 +82,57 @@ QueryBatcher::QueryBatcher(const graph::Csr& csr,
       max_lanes_(std::clamp(max_lanes, 1, core::kMaxBatchLanes)),
       threads_(threads) {}
 
-std::vector<QueryResult> QueryBatcher::Run(
-    const std::vector<TraversalQuery>& queries,
-    BatchRunStats* batch_stats) const {
-  const std::vector<WavePlan> waves = PackWaves(queries, max_lanes_);
+std::vector<Response> QueryBatcher::Run(const std::vector<Request>& queries,
+                                        BatchRunStats* batch_stats) const {
+  std::vector<Response> results(queries.size());
+  // Validate per query: a bad source fails alone, the rest of the
+  // stream is packed and served as if it were never there. (CC ignores
+  // its source entirely, so it cannot be invalid here.)
+  std::vector<std::size_t> admitted;
+  admitted.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q].kind = queries[q].kind;
+    results[q].source = queries[q].source;
+    results[q].graph = queries[q].graph;
+    if (queries[q].kind != QueryKind::kCc &&
+        queries[q].source >= csr_.num_vertices()) {
+      results[q].status = Status::kInvalidSource;
+    } else {
+      admitted.push_back(q);
+    }
+  }
+
+  const std::vector<WavePlan> waves = PackWaves(queries, admitted, max_lanes_);
 
   SweepRunner runner(threads_);
   std::vector<WaveOutcome> outcomes =
       runner.Run(waves.size(), [&](std::size_t w) {
         const WavePlan& wave = waves[w];
+        WaveOutcome outcome;
+        if (wave.kind == QueryKind::kCc) {
+          // One run answers every lane: CC has no source, so all CC
+          // queries in the wave share the sweep-to-fixpoint outright.
+          core::CcPolicy policy(csr_);
+          outcome.stats = core::DispatchRun(csr_, config_, policy);
+          // Every sweep scans the full edge list, so a dedicated run's
+          // scan cost is edges x sweeps -- identical for each lane, and
+          // paid once for the whole wave.
+          const std::uint64_t run_edges = csr_.num_edges() * outcome.stats.kernels;
+          outcome.union_edges = run_edges;
+          const std::size_t lanes = wave.member_queries.size();
+          for (std::size_t lane = 0; lane < lanes; ++lane) {
+            outcome.labels.push_back(lane + 1 == lanes
+                                         ? std::move(policy.labels())
+                                         : policy.labels());
+            outcome.lane_edges.push_back(run_edges);
+          }
+          return outcome;
+        }
         std::vector<graph::VertexId> sources;
         sources.reserve(wave.member_queries.size());
         for (const std::size_t q : wave.member_queries) {
           sources.push_back(queries[q].source);
         }
-        WaveOutcome outcome;
         if (wave.kind == QueryKind::kBfs) {
           core::BatchedBfsPolicy policy(csr_, sources);
           outcome.stats = core::DispatchRun(csr_, config_, policy);
@@ -106,28 +153,28 @@ std::vector<QueryResult> QueryBatcher::Run(
         return outcome;
       });
 
-  std::vector<QueryResult> results(queries.size());
   if (batch_stats != nullptr) batch_stats->waves.clear();
   for (std::size_t w = 0; w < waves.size(); ++w) {
     const WavePlan& wave = waves[w];
     WaveOutcome& outcome = outcomes[w];
     for (std::size_t lane = 0; lane < wave.member_queries.size(); ++lane) {
-      QueryResult& result = results[wave.member_queries[lane]];
-      result.kind = wave.kind;
-      result.source = queries[wave.member_queries[lane]].source;
+      Response& result = results[wave.member_queries[lane]];
+      result.status = Status::kOk;
       result.wave = static_cast<int>(w);
       result.lane = static_cast<int>(lane);
       result.edges_scanned = outcome.lane_edges[lane];
       if (wave.kind == QueryKind::kBfs) {
         result.levels = std::move(outcome.levels[lane]);
-      } else {
+      } else if (wave.kind == QueryKind::kSssp) {
         result.distances = std::move(outcome.distances[lane]);
+      } else {
+        result.labels = std::move(outcome.labels[lane]);
       }
     }
     if (batch_stats != nullptr) {
       batch_stats->waves.push_back(
           WaveStats{wave.kind, static_cast<int>(wave.member_queries.size()),
-                    outcome.stats, outcome.union_edges});
+                    /*graph=*/0, outcome.stats, outcome.union_edges});
     }
   }
   return results;

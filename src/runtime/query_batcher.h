@@ -5,18 +5,28 @@
 // A wave is up to `max_lanes` (<= core::kMaxBatchLanes) queries of the
 // same kind -- BFS lanes cannot share a sweep with SSSP lanes because
 // the two policies stream different arrays (SSSP also scans weights) --
-// against the same graph under the same access mode. Queries are packed
-// greedily in arrival order, so the wave assignment is a pure function
-// of the input stream; waves are independent engine runs, each with its
-// own cold accountant (same per-run device model as every sweep in the
-// suite), so fanning them across workers is deterministic: results and
-// per-wave stats are byte-identical at any thread count, in input
-// order.
+// against the same graph under the same access mode. CC queries form
+// their own waves: CC has no per-query source, so one engine run
+// answers every lane of a CC wave outright (maximal amortization).
+// Queries are packed greedily in arrival order, so the wave assignment
+// is a pure function of the input stream; waves are independent engine
+// runs, each with its own cold accountant (same per-run device model as
+// every sweep in the suite), so fanning them across workers is
+// deterministic: results and per-wave stats are byte-identical at any
+// thread count, in input order.
 //
-// This is the serving-path core of the ROADMAP's traversal-as-a-service
-// item: the accountant is charged once per shared scan, so K concurrent
-// queries cost one amortized sweep instead of K full ones (the
-// query_throughput experiment measures the ratio).
+// Requests are validated per query: an out-of-range source comes back
+// `Status::kInvalidSource` in its response slot and is excluded from
+// wave packing -- one bad query never aborts (or perturbs) the rest of
+// the stream.
+//
+// This is the internal batch path of the serving runtime: the
+// service-grade boundary is runtime::QueryService (query_service.h),
+// which owns the shard table and validation, and serve::Server, which
+// adds the timestamped queue + admission control. The accountant is
+// charged once per shared scan, so K concurrent queries cost one
+// amortized sweep instead of K full ones (the query_throughput
+// experiment measures the ratio).
 
 #ifndef EMOGI_RUNTIME_QUERY_BATCHER_H_
 #define EMOGI_RUNTIME_QUERY_BATCHER_H_
@@ -28,53 +38,16 @@
 #include "core/config.h"
 #include "core/stats.h"
 #include "graph/csr.h"
+#include "runtime/query_service.h"
 
 namespace emogi::runtime {
 
-enum class QueryKind { kBfs, kSssp };
-
-const char* ToString(QueryKind kind);
-
-// One traversal request: "run `kind` from `source`" on the batcher's
-// graph. (CC has no source and answers the same question every time, so
-// it is served by a plain engine run, not batched here.)
-struct TraversalQuery {
-  QueryKind kind = QueryKind::kBfs;
-  graph::VertexId source = 0;
-};
-
-// Per-query answer, exactly what a dedicated single-source run returns.
-struct QueryResult {
-  QueryKind kind = QueryKind::kBfs;
-  graph::VertexId source = 0;
-  int wave = -1;  // Which wave served this query...
-  int lane = -1;  // ...and on which lane.
-  std::vector<std::uint32_t> levels;     // BFS: kNoLevel if unreachable.
-  std::vector<std::uint64_t> distances;  // SSSP: kInfDistance likewise.
-  // Edges this query's own frontier scanned (what a dedicated run would
-  // have paid for) -- the numerator of the amortization ratio.
-  std::uint64_t edges_scanned = 0;
-};
-
-// One wave's shared engine run.
-struct WaveStats {
-  QueryKind kind = QueryKind::kBfs;
-  int lanes = 0;
-  core::TraversalStats stats;  // The single amortized sweep's cost.
-  // Edges the shared sweep scanned (union frontiers, shared scans once).
-  std::uint64_t union_edges = 0;
-};
-
-// Everything one Run() did, for the throughput experiment's metrics.
-struct BatchRunStats {
-  std::vector<WaveStats> waves;
-
-  // Edges the accountants were actually charged for (union frontiers,
-  // each shared scan once) -- the denominator of the amortization ratio.
-  std::uint64_t EdgesScanned() const;
-  // Summed simulated kernel time of all waves.
-  double SimulatedNs() const;
-};
+// DEPRECATED aliases, kept so pre-QueryService callers compile
+// unchanged: the serving boundary's types are runtime::Request and
+// runtime::Response (query_service.h), which these have become. New
+// code should name Request/Response directly.
+using TraversalQuery = Request;
+using QueryResult = Response;
 
 class QueryBatcher {
  public:
@@ -87,10 +60,13 @@ class QueryBatcher {
   int max_lanes() const { return max_lanes_; }
 
   // Runs every query and returns the answers in input order,
-  // deterministic at any thread count. Fills `batch_stats` (optional)
-  // with the per-wave engine costs.
-  std::vector<QueryResult> Run(const std::vector<TraversalQuery>& queries,
-                               BatchRunStats* batch_stats = nullptr) const;
+  // deterministic at any thread count. Requests with an out-of-range
+  // source get Status::kInvalidSource (empty payload, wave/lane -1);
+  // the `graph` id is passed through untranslated -- the batcher serves
+  // exactly one graph and leaves shard routing to QueryService. Fills
+  // `batch_stats` (optional) with the per-wave engine costs.
+  std::vector<Response> Run(const std::vector<Request>& queries,
+                            BatchRunStats* batch_stats = nullptr) const;
 
  private:
   const graph::Csr& csr_;

@@ -1,0 +1,149 @@
+// The service-grade query API of the traversal-as-a-service runtime:
+// typed requests and responses over one or more resident graphs.
+//
+// `Request` names an algorithm (BFS/SSSP/CC), a source vertex (ignored
+// by CC, which has no per-query source), a target graph (a shard id
+// handed out by QueryService::AddGraph), and an optional queueing
+// deadline. `Response` always comes back -- never an abort, never a
+// crash -- with a typed `Status`:
+//
+//   kOk               the answer payload is populated.
+//   kInvalidSource    the source vertex is out of range for the target
+//                     graph, or the graph id names no shard. Rejected
+//                     per query; the rest of a batch is unaffected.
+//   kOverloaded       admission control rejected the query: it arrived
+//                     while the serving queue was at its bound (only
+//                     the serve-layer queue issues this -- a direct
+//                     Submit is never queued).
+//   kDeadlineExceeded service could not *start* by arrival_ns +
+//                     deadline_ns, so the query was dropped unrun (the
+//                     serve layer's admission semantics: an answer that
+//                     cannot begin in time is worthless, so the server
+//                     sheds it instead of burning a wave slot).
+//
+// QueryService is the synchronous boundary: it owns the shard table
+// (graph id -> resident CSR + access-mode config), validates every
+// request, and serves batches through the multi-source batched engine
+// (`QueryBatcher::Run` is the internal batch path). The timestamped,
+// admission-controlled stream serving on top of it lives in
+// serve::Server (src/serve/server.h).
+
+#ifndef EMOGI_RUNTIME_QUERY_SERVICE_H_
+#define EMOGI_RUNTIME_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batched.h"
+#include "core/config.h"
+#include "core/stats.h"
+#include "graph/csr.h"
+
+namespace emogi::runtime {
+
+enum class QueryKind { kBfs, kSssp, kCc };
+
+const char* ToString(QueryKind kind);
+
+enum class Status { kOk, kInvalidSource, kOverloaded, kDeadlineExceeded };
+
+const char* ToString(Status status);
+
+// One traversal request: "run `kind` from `source` on shard `graph`".
+struct Request {
+  QueryKind kind = QueryKind::kBfs;
+  graph::VertexId source = 0;  // Ignored by kCc (CC has no source).
+  int graph = 0;               // QueryService shard id (0 = first/only graph).
+  // Queueing deadline relative to arrival; 0 = none. Enforced by the
+  // serve layer only: a queued query whose service has not started
+  // within deadline_ns of its arrival is dropped (kDeadlineExceeded).
+  std::uint64_t deadline_ns = 0;
+};
+
+// The per-query answer. For kOk, exactly what a dedicated sequential
+// run of the same algorithm returns; for every other status the payload
+// vectors are empty and wave/lane are -1.
+struct Response {
+  Status status = Status::kOk;
+  QueryKind kind = QueryKind::kBfs;
+  graph::VertexId source = 0;
+  int graph = 0;
+  int wave = -1;  // Which wave served this query...
+  int lane = -1;  // ...and on which lane.
+  std::vector<std::uint32_t> levels;     // BFS: kNoLevel if unreachable.
+  std::vector<std::uint64_t> distances;  // SSSP: kInfDistance likewise.
+  std::vector<graph::VertexId> labels;   // CC: per-vertex component label.
+  // Edges a dedicated run of this query alone would have scanned -- the
+  // numerator of the amortization ratio (for CC, the full run's scans).
+  std::uint64_t edges_scanned = 0;
+};
+
+// One wave's shared engine run.
+struct WaveStats {
+  QueryKind kind = QueryKind::kBfs;
+  int lanes = 0;
+  int graph = 0;
+  core::TraversalStats stats;  // The single amortized sweep's cost.
+  // Edges the shared sweep scanned (union frontiers, shared scans once).
+  std::uint64_t union_edges = 0;
+};
+
+// Everything one batch serving did, for throughput/latency accounting.
+struct BatchRunStats {
+  std::vector<WaveStats> waves;
+
+  // Edges the accountants were actually charged for (union frontiers,
+  // each shared scan once) -- the denominator of the amortization ratio.
+  std::uint64_t EdgesScanned() const;
+  // Summed simulated kernel time of all waves.
+  double SimulatedNs() const;
+};
+
+class QueryService {
+ public:
+  // `max_lanes` caps the wave width K, clamped to
+  // [1, core::kMaxBatchLanes].
+  explicit QueryService(int max_lanes = core::kMaxBatchLanes);
+
+  // Registers a resident graph served under `config`; returns its shard
+  // id (dense, starting at 0). The CSR must outlive the service.
+  int AddGraph(const graph::Csr& csr, const core::EmogiConfig& config,
+               std::string name = "");
+
+  int num_graphs() const { return static_cast<int>(shards_.size()); }
+  int max_lanes() const { return max_lanes_; }
+  const graph::Csr& graph(int id) const { return *shards_[id].csr; }
+  const core::EmogiConfig& config(int id) const { return shards_[id].config; }
+  const std::string& graph_name(int id) const { return shards_[id].name; }
+
+  // kOk iff the request names a known shard and (for BFS/SSSP) a source
+  // inside that shard's vertex range; kInvalidSource otherwise.
+  Status Validate(const Request& request) const;
+
+  // Serves one query synchronously as a dedicated (single-lane) run.
+  // Never queued, so the only statuses are kOk and kInvalidSource.
+  Response Submit(const Request& request) const;
+
+  // Serves a batch: requests are validated individually (invalid ones
+  // come back kInvalidSource without disturbing the rest), grouped per
+  // shard, and packed into <= max_lanes same-kind waves in arrival
+  // order. Responses are in input order; `stats` (optional) receives
+  // every wave's engine cost with globally numbered wave indices.
+  std::vector<Response> SubmitBatch(const std::vector<Request>& requests,
+                                    BatchRunStats* stats = nullptr) const;
+
+ private:
+  struct Shard {
+    const graph::Csr* csr = nullptr;
+    core::EmogiConfig config;
+    std::string name;
+  };
+
+  int max_lanes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace emogi::runtime
+
+#endif  // EMOGI_RUNTIME_QUERY_SERVICE_H_

@@ -1,0 +1,401 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "runtime/sweep_runner.h"
+
+namespace emogi::serve {
+namespace {
+
+// One pending arrival inside a shard's simulated timeline. `seq` breaks
+// simultaneous-arrival ties by input position, so the timeline is a
+// pure function of the sub-trace.
+struct Arrival {
+  std::uint64_t t = 0;
+  std::uint64_t seq = 0;
+  std::size_t out_index = 0;  // Slot in ServeOutcome::queries.
+  runtime::Request request;
+  int client = -1;  // Closed-loop client id, -1 for open-loop traces.
+};
+
+struct ArrivalLater {
+  bool operator()(const Arrival& a, const Arrival& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+using ArrivalHeap =
+    std::priority_queue<Arrival, std::vector<Arrival>, ArrivalLater>;
+
+// Simulates one shard's serving timeline: bounded admission, deadline
+// shedding, adaptive same-kind wave dispatch. For closed-loop runs,
+// `clients` supplies each client's remaining requests; a client's next
+// request arrives the instant its previous one completes or is
+// rejected.
+struct ShardSim {
+  const runtime::QueryService* service = nullptr;
+  int shard = 0;
+  std::size_t queue_bound = 0;
+  int max_lanes = 1;
+  // Closed-loop continuation state (empty for open-loop traces):
+  // clients[c] is client c's full request sequence, next_query[c] the
+  // index of its next unissued request.
+  const std::vector<std::vector<runtime::Request>>* clients = nullptr;
+  std::vector<std::size_t> next_query;
+  std::vector<std::size_t> client_out_base;  // First outcome slot per client.
+
+  ShardStats stats;
+
+  void Run(ArrivalHeap* arrivals, std::vector<ServedQuery>* out) {
+    std::uint64_t now = 0;
+    std::uint64_t next_seq = 1ull << 32;  // Above every initial seq.
+    std::deque<Arrival> queue;
+
+    const auto finish = [&](const Arrival& a, runtime::Status status,
+                            std::uint64_t at) {
+      ServedQuery& served = (*out)[a.out_index];
+      served.response.status = status;
+      served.response.kind = a.request.kind;
+      served.response.source = a.request.source;
+      served.response.graph = a.request.graph;
+      served.arrival_ns = a.t;
+      served.start_ns = at;
+      served.completion_ns = at;
+      // A non-served query has no service latency; its fate and timing
+      // are the record.
+      served.latency_ns = 0;
+      if (a.client >= 0) Continue(a.client, at, arrivals, &next_seq);
+    };
+
+    while (!arrivals->empty() || !queue.empty()) {
+      if (queue.empty()) now = std::max(now, arrivals->top().t);
+
+      // Admit everything that has arrived by `now`, in (time, input)
+      // order, against the bound. No wave dispatches between two
+      // admissions, so batch-processing arrivals at the next idle
+      // point is exactly equivalent to handling each at its own t.
+      while (!arrivals->empty() && arrivals->top().t <= now) {
+        Arrival a = arrivals->top();
+        arrivals->pop();
+        ++stats.arrivals;
+        if (a.request.graph != shard ||
+            service->Validate(a.request) != runtime::Status::kOk) {
+          ++stats.rejected_invalid;
+          finish(a, runtime::Status::kInvalidSource, a.t);
+          continue;
+        }
+        if (queue.size() >= queue_bound) {
+          ++stats.rejected_overload;
+          finish(a, runtime::Status::kOverloaded, a.t);
+          continue;
+        }
+        queue.push_back(std::move(a));
+      }
+      if (queue.empty()) continue;
+
+      // Shed queries whose service can no longer start by their
+      // deadline -- the dispatcher knows it cannot start them now, so
+      // keeping them would only burn wave slots on dead answers.
+      for (auto it = queue.begin(); it != queue.end();) {
+        if (it->request.deadline_ns > 0 &&
+            now > it->t + it->request.deadline_ns) {
+          ++stats.dropped_deadline;
+          finish(*it, runtime::Status::kDeadlineExceeded, now);
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (queue.empty()) continue;
+
+      // Adaptive wave: the oldest waiting query picks the kind, then up
+      // to max_lanes waiting queries of that kind join it in arrival
+      // order (other kinds keep their queue positions).
+      const runtime::QueryKind kind = queue.front().request.kind;
+      std::vector<Arrival> members;
+      for (auto it = queue.begin();
+           it != queue.end() &&
+           static_cast<int>(members.size()) < max_lanes;) {
+        if (it->request.kind == kind) {
+          members.push_back(std::move(*it));
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      std::vector<runtime::Request> requests;
+      requests.reserve(members.size());
+      for (const Arrival& member : members) requests.push_back(member.request);
+      runtime::BatchRunStats wave_stats;
+      std::vector<runtime::Response> responses =
+          service->SubmitBatch(requests, &wave_stats);
+
+      const std::uint64_t service_ns = static_cast<std::uint64_t>(
+          std::llround(wave_stats.SimulatedNs()));
+      const std::uint64_t start = now;
+      const std::uint64_t completion = start + service_ns;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        ServedQuery& served = (*out)[members[i].out_index];
+        served.response = std::move(responses[i]);
+        served.arrival_ns = members[i].t;
+        served.start_ns = start;
+        served.completion_ns = completion;
+        served.latency_ns = completion - members[i].t;
+        if (members[i].client >= 0) {
+          Continue(members[i].client, completion, arrivals, &next_seq);
+        }
+      }
+      stats.served += members.size();
+      stats.waves += wave_stats.waves.size();
+      stats.wave_lanes += members.size();
+      stats.busy_ns += service_ns;
+      stats.last_completion_ns = completion;
+      now = completion;
+    }
+  }
+
+  // Queues client `c`'s next request, arriving at `at`.
+  void Continue(int c, std::uint64_t at, ArrivalHeap* arrivals,
+                std::uint64_t* next_seq) {
+    const std::vector<runtime::Request>& sequence = (*clients)[c];
+    if (next_query[c] >= sequence.size()) return;
+    const std::size_t q = next_query[c]++;
+    arrivals->push(Arrival{at, (*next_seq)++, client_out_base[c] + q,
+                           sequence[q], c});
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> ServeOutcome::ServedLatenciesNs() const {
+  std::vector<std::uint64_t> latencies;
+  for (const ServedQuery& query : queries) {
+    if (query.response.status == runtime::Status::kOk) {
+      latencies.push_back(query.latency_ns);
+    }
+  }
+  return latencies;
+}
+
+std::uint64_t ServeOutcome::Served() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.served;
+  return total;
+}
+
+std::uint64_t ServeOutcome::RejectedOverload() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.rejected_overload;
+  return total;
+}
+
+double ServeOutcome::RejectRate() const {
+  if (queries.empty()) return 0;
+  return static_cast<double>(RejectedOverload()) /
+         static_cast<double>(queries.size());
+}
+
+double ServeOutcome::MeanWaveOccupancy() const {
+  std::uint64_t waves = 0, lanes = 0;
+  for (const ShardStats& shard : shards) {
+    waves += shard.waves;
+    lanes += shard.wave_lanes;
+  }
+  return waves > 0 ? static_cast<double>(lanes) / static_cast<double>(waves)
+                   : 0;
+}
+
+double ServeOutcome::SimulatedQueriesPerSec() const {
+  std::uint64_t first_arrival = ~0ull;
+  std::uint64_t last_completion = 0;
+  for (const ServedQuery& query : queries) {
+    first_arrival = std::min(first_arrival, query.arrival_ns);
+  }
+  for (const ShardStats& shard : shards) {
+    last_completion = std::max(last_completion, shard.last_completion_ns);
+  }
+  const std::uint64_t served = Served();
+  if (served == 0 || last_completion <= first_arrival) return 0;
+  return static_cast<double>(served) * 1e9 /
+         static_cast<double>(last_completion - first_arrival);
+}
+
+std::uint64_t PercentileNs(std::vector<std::uint64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest rank: the ceil(p/100 * N)-th smallest, 1-based; p = 0 maps
+  // to the minimum.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
+  rank = std::clamp<std::size_t>(rank, 1, samples.size());
+  return samples[rank - 1];
+}
+
+Server::Server(const ServerOptions& options)
+    : options_(options), service_(options.max_lanes) {
+  options_.max_lanes = service_.max_lanes();  // Reflect the clamp.
+  if (options_.queue_bound == 0) options_.queue_bound = 1;
+}
+
+int Server::AddShard(const graph::Csr& csr, const core::EmogiConfig& config,
+                     std::string name) {
+  return service_.AddGraph(csr, config, std::move(name));
+}
+
+ServeOutcome Server::ServeTrace(
+    const std::vector<TimestampedRequest>& trace) const {
+  ServeOutcome outcome;
+  outcome.queries.resize(trace.size());
+  const int shards = service_.num_graphs();
+  outcome.shards.resize(shards);
+  for (int g = 0; g < shards; ++g) outcome.shards[g].graph = g;
+
+  // Route per shard. A request naming no shard cannot be queued
+  // anywhere: it is rejected at arrival (kInvalidSource) right here and
+  // counted against shard 0's invalid tally when one exists.
+  std::vector<std::vector<Arrival>> per_shard(shards);
+  for (std::size_t q = 0; q < trace.size(); ++q) {
+    const TimestampedRequest& entry = trace[q];
+    Arrival arrival{entry.arrival_ns, q, q, entry.request, -1};
+    const int g = entry.request.graph;
+    if (g < 0 || g >= shards) {
+      ServedQuery& served = outcome.queries[q];
+      served.response.status = runtime::Status::kInvalidSource;
+      served.response.kind = entry.request.kind;
+      served.response.source = entry.request.source;
+      served.response.graph = g;
+      served.arrival_ns = entry.arrival_ns;
+      served.start_ns = entry.arrival_ns;
+      served.completion_ns = entry.arrival_ns;
+      if (shards > 0) {
+        ++outcome.shards[0].arrivals;
+        ++outcome.shards[0].rejected_invalid;
+      }
+      continue;
+    }
+    per_shard[g].push_back(std::move(arrival));
+  }
+
+  runtime::SweepRunner runner(options_.threads);
+  std::vector<ShardStats> shard_stats =
+      runner.Run(static_cast<std::size_t>(shards), [&](std::size_t g) {
+        ShardSim sim;
+        sim.service = &service_;
+        sim.shard = static_cast<int>(g);
+        sim.queue_bound = options_.queue_bound;
+        sim.max_lanes = options_.max_lanes;
+        sim.stats.graph = static_cast<int>(g);
+        ArrivalHeap heap(ArrivalLater{},
+                         std::vector<Arrival>(per_shard[g].begin(),
+                                              per_shard[g].end()));
+        sim.Run(&heap, &outcome.queries);
+        return sim.stats;
+      });
+  for (int g = 0; g < shards; ++g) {
+    // Unroutable arrivals were tallied into outcome.shards above; fold
+    // the timeline's counters on top.
+    ShardStats& merged = outcome.shards[g];
+    const ShardStats& timeline = shard_stats[g];
+    merged.arrivals += timeline.arrivals;
+    merged.served = timeline.served;
+    merged.rejected_overload = timeline.rejected_overload;
+    merged.rejected_invalid += timeline.rejected_invalid;
+    merged.dropped_deadline = timeline.dropped_deadline;
+    merged.waves = timeline.waves;
+    merged.wave_lanes = timeline.wave_lanes;
+    merged.busy_ns = timeline.busy_ns;
+    merged.last_completion_ns = timeline.last_completion_ns;
+  }
+  return outcome;
+}
+
+ServeOutcome Server::ServeClosedLoop(
+    const std::vector<std::vector<runtime::Request>>& clients) const {
+  ServeOutcome outcome;
+  std::size_t total = 0;
+  for (const auto& sequence : clients) total += sequence.size();
+  outcome.queries.resize(total);
+  const int shards = service_.num_graphs();
+  outcome.shards.resize(shards);
+  for (int g = 0; g < shards; ++g) outcome.shards[g].graph = g;
+
+  // A client is pinned to the shard its first request names; its whole
+  // sequence runs on that shard's timeline (a request naming any other
+  // graph is rejected kInvalidSource there -- cross-shard requests
+  // would couple the timelines and break determinism).
+  std::vector<std::size_t> out_base(clients.size(), 0);
+  std::size_t base = 0;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    out_base[c] = base;
+    base += clients[c].size();
+  }
+  std::vector<std::vector<int>> shard_clients(shards);
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    if (clients[c].empty()) continue;
+    const int g = clients[c].front().graph;
+    if (g < 0 || g >= shards) {
+      // No shard to run on: the whole sequence is unroutable, each
+      // request "arriving" the instant the previous was rejected (all
+      // at t = 0).
+      for (std::size_t q = 0; q < clients[c].size(); ++q) {
+        ServedQuery& served = outcome.queries[out_base[c] + q];
+        served.response.status = runtime::Status::kInvalidSource;
+        served.response.kind = clients[c][q].kind;
+        served.response.source = clients[c][q].source;
+        served.response.graph = g;
+      }
+      if (shards > 0) {
+        outcome.shards[0].arrivals += clients[c].size();
+        outcome.shards[0].rejected_invalid += clients[c].size();
+      }
+      continue;
+    }
+    shard_clients[g].push_back(static_cast<int>(c));
+  }
+
+  runtime::SweepRunner runner(options_.threads);
+  std::vector<ShardStats> shard_stats =
+      runner.Run(static_cast<std::size_t>(shards), [&](std::size_t g) {
+        ShardSim sim;
+        sim.service = &service_;
+        sim.shard = static_cast<int>(g);
+        sim.queue_bound = options_.queue_bound;
+        sim.max_lanes = options_.max_lanes;
+        sim.stats.graph = static_cast<int>(g);
+        sim.clients = &clients;
+        sim.next_query.assign(clients.size(), 0);
+        sim.client_out_base = out_base;
+        ArrivalHeap heap;
+        for (std::size_t i = 0; i < shard_clients[g].size(); ++i) {
+          const int c = shard_clients[g][i];
+          sim.next_query[c] = 1;
+          heap.push(Arrival{0, static_cast<std::uint64_t>(i), out_base[c],
+                            clients[c].front(), c});
+        }
+        sim.Run(&heap, &outcome.queries);
+        return sim.stats;
+      });
+  for (int g = 0; g < shards; ++g) {
+    ShardStats& merged = outcome.shards[g];
+    const ShardStats& timeline = shard_stats[g];
+    merged.arrivals += timeline.arrivals;
+    merged.served = timeline.served;
+    merged.rejected_overload = timeline.rejected_overload;
+    merged.rejected_invalid += timeline.rejected_invalid;
+    merged.dropped_deadline = timeline.dropped_deadline;
+    merged.waves = timeline.waves;
+    merged.wave_lanes = timeline.wave_lanes;
+    merged.busy_ns = timeline.busy_ns;
+    merged.last_completion_ns = timeline.last_completion_ns;
+  }
+  return outcome;
+}
+
+}  // namespace emogi::serve

@@ -1,5 +1,5 @@
-// The experiment API: (a) the registry holds all 17 figure/table/perf
-// experiments under unique ids, (b) fig09's JSON report parses (via the
+// The experiment API: (a) the registry holds every figure/table/perf
+// experiment under a unique id, (b) fig09's JSON report parses (via the
 // shared bench/json reader), carries the schema version, and its
 // speedup values re-render to exactly the table sink's cells, (c)
 // Options resolves flag > env > default with bad flag values rejected
@@ -39,7 +39,7 @@ JsonValue ParseOrDie(const std::string& text) {
 void TestRegistryHasAllExperiments() {
   const std::vector<const bench::Experiment*> all =
       bench::Registry::Instance().All();
-  CHECK(all.size() == 18);
+  CHECK(all.size() == 19);
 
   std::set<std::string> ids;
   for (const bench::Experiment* experiment : all) {
@@ -52,13 +52,14 @@ void TestRegistryHasAllExperiments() {
        {"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
         "fig11", "fig12", "fig13", "table2", "table3", "pcie_model_checks",
         "ablation_rtt", "ablation_worker_size", "ablation_compression",
-        "scan_throughput", "query_throughput"}) {
+        "scan_throughput", "query_throughput", "serving_latency"}) {
     CHECK(ids.count(id) == 1);
     CHECK(bench::Registry::Instance().Find(id) != nullptr);
   }
   CHECK(bench::Registry::Instance().Find("fig13")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("scan_throughput")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("query_throughput")->has_selfcheck);
+  CHECK(bench::Registry::Instance().Find("serving_latency")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("no_such_experiment") == nullptr);
 }
 

@@ -260,6 +260,95 @@ void TestQueryBatcherServing() {
   }
 }
 
+// Regression: the batcher used to trust `source` outright, so one
+// out-of-range vertex id aborted the whole wave. Now a bad source fails
+// alone (kInvalidSource, empty payload, no wave slot) and the rest of
+// the stream is served exactly as if it were never submitted.
+void TestInvalidSourceFailsAlone() {
+  const graph::Csr csr = graph::LoadOrGenerateDataset("GK", 16384);
+  const core::EmogiConfig config = core::EmogiConfig::MergedAligned();
+
+  std::vector<runtime::TraversalQuery> valid = MixedQueries(csr, 6);
+  std::vector<runtime::TraversalQuery> poisoned = valid;
+  // Out-of-range sources sprinkled through the stream, including the
+  // boundary value num_vertices itself.
+  poisoned.insert(poisoned.begin(),
+                  {runtime::QueryKind::kBfs, csr.num_vertices()});
+  poisoned.insert(poisoned.begin() + 4,
+                  {runtime::QueryKind::kSssp, csr.num_vertices() + 1000});
+  poisoned.push_back({runtime::QueryKind::kBfs, ~graph::VertexId{0}});
+
+  const runtime::QueryBatcher batcher(csr, config, 8, 1);
+  runtime::BatchRunStats poisoned_stats, valid_stats;
+  const std::vector<runtime::QueryResult> results =
+      batcher.Run(poisoned, &poisoned_stats);
+  const std::vector<runtime::QueryResult> reference =
+      batcher.Run(valid, &valid_stats);
+
+  CHECK(results.size() == poisoned.size());
+  std::size_t next_valid = 0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    if (poisoned[q].source >= csr.num_vertices()) {
+      CHECK(results[q].status == runtime::Status::kInvalidSource);
+      CHECK(results[q].wave == -1 && results[q].lane == -1);
+      CHECK(results[q].levels.empty() && results[q].distances.empty());
+      CHECK(results[q].edges_scanned == 0);
+    } else {
+      // The valid queries are served exactly as in the clean stream:
+      // same wave/lane assignment, same answers, same charges.
+      const runtime::QueryResult& r = reference[next_valid++];
+      CHECK(results[q].status == runtime::Status::kOk);
+      CHECK(results[q].wave == r.wave && results[q].lane == r.lane);
+      CHECK(results[q].levels == r.levels);
+      CHECK(results[q].distances == r.distances);
+      CHECK(results[q].edges_scanned == r.edges_scanned);
+    }
+  }
+  CHECK(next_valid == valid.size());
+  CHECK(WaveStatsEqual(poisoned_stats, valid_stats));
+}
+
+// CC has no source: every CC query in a wave shares one
+// sweep-to-fixpoint run, and a lane's dedicated-cost charge is the full
+// edge list times the run's kernel count.
+void TestCcWaveSharing() {
+  const graph::Csr csr = graph::LoadOrGenerateDataset("GK", 16384);
+
+  for (core::EmogiConfig config : AllModes()) {
+    config.device.scale_factor = 1 << 14;
+
+    core::CcPolicy dedicated(csr);
+    const core::TraversalStats dedicated_stats =
+        core::DispatchRun(csr, config, dedicated);
+
+    std::vector<runtime::TraversalQuery> queries(
+        5, runtime::TraversalQuery{runtime::QueryKind::kCc, 0});
+    // A BFS query in the middle must not end up in the CC wave.
+    queries.insert(queries.begin() + 2,
+                   {runtime::QueryKind::kBfs, graph::PickSources(csr, 1)[0]});
+
+    const runtime::QueryBatcher batcher(csr, config, 8, 1);
+    runtime::BatchRunStats stats;
+    const std::vector<runtime::QueryResult> results =
+        batcher.Run(queries, &stats);
+
+    CHECK(stats.waves.size() == 2);  // One CC wave, one BFS wave.
+    const std::uint64_t run_edges =
+        csr.num_edges() * dedicated_stats.kernels;
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      if (queries[q].kind != runtime::QueryKind::kCc) continue;
+      CHECK(results[q].status == runtime::Status::kOk);
+      CHECK(results[q].labels == dedicated.labels());
+      CHECK(results[q].edges_scanned == run_edges);
+      // All five CC queries share one wave (and its single run).
+      CHECK(results[q].wave == results[0].wave);
+    }
+    // The wave's union charge is one run, not five.
+    CHECK(stats.waves[results[0].wave].union_edges == run_edges);
+    CHECK(stats.waves[results[0].wave].lanes == 5);
+  }
+}
+
 }  // namespace
 }  // namespace emogi
 
@@ -267,6 +356,8 @@ int main() {
   emogi::TestBatchedPolicyParity();
   emogi::TestDivergentFrontiersScanSeparately();
   emogi::TestQueryBatcherServing();
+  emogi::TestInvalidSourceFailsAlone();
+  emogi::TestCcWaveSharing();
   std::printf("test_query_batcher: OK\n");
   return 0;
 }
