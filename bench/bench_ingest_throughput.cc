@@ -1,0 +1,8 @@
+// Out-of-core ingestion throughput: container decode, chunked vs
+// in-memory CSR cache build, cache load, and paged serving. Thin
+// wrapper over the registered `ingest_throughput` experiment.
+#include "bench/driver.h"
+
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("ingest_throughput", argc, argv);
+}

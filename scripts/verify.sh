@@ -147,6 +147,58 @@ awk -F, '$4 == "reject_rate_overload" && $5 > max { max = $5 }
          }' build/BENCH_serving_latency.csv
 
 echo
+echo "=== regression gate: serving_latency vs checked-in baseline ==="
+# The checked-in baseline keeps only the deterministic rows (simulated
+# p50/p95/p99, reject rates, wave occupancy); the wall-clock queries/s
+# rows were stripped when it was generated, so every compared metric
+# must match exactly on any machine.
+./build/emogi_bench run serving_latency --scale 4096 --sources 2 \
+  --format=json --out build/BENCH_serving_latency_analogs.json
+./build/bench_compare bench/baselines/BENCH_serving_latency.json \
+  build/BENCH_serving_latency_analogs.json
+
+echo
+echo "=== out-of-core ingestion: container decode + chunked build ==="
+# --selfcheck gates the whole subsystem: gzip/bin containers round-trip
+# to the same CSR as plain text, a truncated gzip stream is rejected,
+# the chunked external-memory build is byte-identical to the in-memory
+# cache writer while holding peak resident edge bytes <= the budget
+# (>= 2 chunks under the auto budget), and the mmap-paged view serves
+# identical arrays. The timed run records container decode and build
+# rates in BENCH_ingest_throughput.json.
+./build/emogi_bench run ingest_throughput --scale 16384 --selfcheck
+./build/emogi_bench run ingest_throughput --scale 16384 \
+  --format=json --out build/BENCH_ingest_throughput.json
+
+echo
+echo "=== out-of-core parity: fig09 paged + budgeted vs resident ==="
+# The same fixture graph served two ways -- classic resident CSR, then a
+# fresh chunked (1 MiB budget) cache build served as an mmap-ed view --
+# must produce byte-identical deterministic fig09 metrics. rm between
+# runs forces the second ingest through the external-memory builder.
+rm -rf build/ooc-cache
+./build/emogi_bench run fig09 --scale 4096 --sources 2 \
+  --data-dir build/fixtures --cache-dir build/ooc-cache \
+  --format=json --out build/BENCH_fig09_resident.json
+rm -rf build/ooc-cache
+./build/emogi_bench run fig09 --scale 4096 --sources 2 \
+  --data-dir build/fixtures --cache-dir build/ooc-cache \
+  --memory-budget 1M --paged-csr 1 \
+  --format=json --out build/BENCH_fig09_paged.json
+./build/bench_compare build/BENCH_fig09_resident.json \
+  build/BENCH_fig09_paged.json
+
+echo
+echo "=== bench history ledger: fig09 trajectory (dry run) ==="
+# Appends nothing (--dry-run keeps the tree clean); prints the stable /
+# drifted / wall-clock breakdown against bench/history/fig09.jsonl. The
+# ledger records, it does not gate -- drift shows up here, regressions
+# are caught by the baseline gates above.
+./build/emogi_bench run fig09 --scale 8192 --sources 2 \
+  --format=json --out build/BENCH_fig09_history.json
+./build/bench_history build/BENCH_fig09_history.json --dry-run
+
+echo
 echo "=== multi-GPU sanity: 1-vs-4-device parity and speedup ==="
 # --selfcheck exits nonzero unless the 1-device run is byte-identical to
 # the single-device engine and zero-copy speedup is monotonically

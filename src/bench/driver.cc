@@ -1,7 +1,9 @@
 #include "bench/driver.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,10 @@ constexpr char kRunOptionsHelp[] =
     "  --threads N              sweep workers                (env: EMOGI_THREADS)\n"
     "  --data-dir DIR           real edge-list directory     (env: EMOGI_DATA_DIR)\n"
     "  --cache-dir DIR          binary CSR cache directory   (env: EMOGI_CACHE_DIR)\n"
+    "  --memory-budget BYTES    resident edge-data cap while ingesting real\n"
+    "                           graphs, K/M/G suffix ok  (env: EMOGI_MEMORY_BUDGET)\n"
+    "  --paged-csr 0|1          serve real graphs as mmap-ed cache views\n"
+    "                           (out-of-core)            (env: EMOGI_PAGED_CSR)\n"
     "\n"
     "Flags override environment values; an invalid value is rejected with\n"
     "a warning and the previously resolved value kept.\n";
@@ -175,8 +181,8 @@ int RunExperiments(const std::vector<const Experiment*>& experiments,
     } else {
       std::FILE* file = std::fopen(flags.out.c_str(), "wb");
       if (file == nullptr) {
-        std::fprintf(stderr, "emogi_bench: cannot write %s\n",
-                     flags.out.c_str());
+        std::fprintf(stderr, "emogi_bench: cannot write %s: %s\n",
+                     flags.out.c_str(), std::strerror(errno));
         return 1;
       }
       const std::size_t written =
@@ -184,8 +190,8 @@ int RunExperiments(const std::vector<const Experiment*>& experiments,
       // A short write or failed flush (ENOSPC, I/O error) must not let
       // a truncated report pass for a valid one.
       if (std::fclose(file) != 0 || written != document.size()) {
-        std::fprintf(stderr, "emogi_bench: error writing %s\n",
-                     flags.out.c_str());
+        std::fprintf(stderr, "emogi_bench: error writing %s: %s\n",
+                     flags.out.c_str(), std::strerror(errno));
         return 1;
       }
     }

@@ -89,7 +89,8 @@ bool ParseFilter(const std::string& value, std::vector<std::string>* symbols) {
 
 const std::vector<std::string>& Options::FlagNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      "scale", "sources", "threads", "data-dir", "cache-dir", "filter"};
+      "scale",     "sources",       "threads",  "data-dir",
+      "cache-dir", "memory-budget", "paged-csr", "filter"};
   return *names;
 }
 
@@ -157,6 +158,28 @@ bool Options::Set(const std::string& name, const std::string& value) {
     }
     data.cache_dir = value;
     return true;
+  }
+  if (name == "memory-budget") {
+    std::uint64_t bytes = 0;
+    if (!graph::ParseByteCount(value, &bytes)) {
+      std::fprintf(stderr,
+                   "warning: ignoring --memory-budget '%s' (expected a "
+                   "positive byte count, optionally suffixed K/M/G)\n",
+                   value.c_str());
+      return false;
+    }
+    data.memory_budget = bytes;
+    return true;
+  }
+  if (name == "paged-csr") {
+    if (value == "0" || value == "1") {
+      data.paged = (value == "1");
+      return true;
+    }
+    std::fprintf(stderr,
+                 "warning: ignoring --paged-csr '%s' (expected 0 or 1)\n",
+                 value.c_str());
+    return false;
   }
   if (name == "filter") {
     return ParseFilter(value, &symbols);

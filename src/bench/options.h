@@ -32,6 +32,15 @@ namespace emogi::bench {
 //   EMOGI_CACHE_DIR (--cache-dir)  where binary CSR caches for ingested
 //                              graphs live (default:
 //                              "<EMOGI_DATA_DIR>/emogi-cache").
+//   EMOGI_MEMORY_BUDGET (--memory-budget)  byte cap on resident edge
+//                              data while ingesting real graphs; routes
+//                              the build through the external-memory
+//                              chunked builder. Positive integer with
+//                              optional K/M/G suffix (powers of 1024).
+//                              Default: unbounded in-memory build.
+//   EMOGI_PAGED_CSR (--paged-csr)  0/1; 1 serves real graphs as mmap-ed
+//                              views of the CSR cache file (out-of-core
+//                              traversal) instead of resident copies.
 struct Options {
   std::uint64_t scale = 512;
   int sources = 4;
@@ -50,9 +59,9 @@ struct Options {
   bool Set(const std::string& name, const std::string& value);
 
   // The long-option names Set accepts ("scale", "sources", "threads",
-  // "data-dir", "cache-dir", "filter") -- the one list the driver's
-  // flag classifier shares, so a new knob is added next to its Set
-  // branch only.
+  // "data-dir", "cache-dir", "memory-budget", "paged-csr", "filter") --
+  // the one list the driver's flag classifier shares, so a new knob is
+  // added next to its Set branch only.
   static const std::vector<std::string>& FlagNames();
 };
 

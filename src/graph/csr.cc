@@ -6,24 +6,64 @@ namespace emogi::graph {
 
 Csr::Csr(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors,
          bool directed, std::string name)
-    : offsets_(std::move(offsets)),
-      neighbors_(std::move(neighbors)),
+    : owned_offsets_(std::move(offsets)),
+      owned_neighbors_(std::move(neighbors)),
+      offsets_(owned_offsets_.data()),
+      offsets_size_(owned_offsets_.size()),
+      neighbors_(owned_neighbors_.data()),
+      neighbors_size_(owned_neighbors_.size()),
       directed_(directed),
       name_(std::move(name)) {}
+
+Csr::Csr(const EdgeIndex* offsets, std::size_t offsets_size,
+         const VertexId* neighbors, std::size_t neighbors_size, bool directed,
+         std::string name, std::shared_ptr<const void> backing)
+    : offsets_(offsets),
+      offsets_size_(offsets_size),
+      neighbors_(neighbors),
+      neighbors_size_(neighbors_size),
+      backing_(std::move(backing)),
+      directed_(directed),
+      name_(std::move(name)) {}
+
+Csr::Csr(const Csr& other)
+    : owned_offsets_(other.owned_offsets_),
+      owned_neighbors_(other.owned_neighbors_),
+      backing_(other.backing_),
+      directed_(other.directed_),
+      edge_elem_bytes_(other.edge_elem_bytes_),
+      name_(other.name_) {
+  if (other.backing_ != nullptr) {
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+  } else {
+    offsets_ = owned_offsets_.data();
+    neighbors_ = owned_neighbors_.data();
+  }
+  offsets_size_ = other.offsets_size_;
+  neighbors_size_ = other.neighbors_size_;
+}
+
+Csr& Csr::operator=(const Csr& other) {
+  if (this == &other) return *this;
+  Csr copy(other);
+  *this = std::move(copy);
+  return *this;
+}
 
 bool Csr::Validate(std::string* error) const {
   auto fail = [error](const std::string& message) {
     if (error) *error = message;
     return false;
   };
-  if (offsets_.empty()) return fail("empty offsets array");
-  if (offsets_.front() != 0) return fail("offsets[0] != 0");
-  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+  if (offsets_size_ == 0) return fail("empty offsets array");
+  if (offsets_[0] != 0) return fail("offsets[0] != 0");
+  for (std::size_t i = 1; i < offsets_size_; ++i) {
     if (offsets_[i] < offsets_[i - 1]) {
       return fail("offsets not monotone at vertex " + std::to_string(i - 1));
     }
   }
-  if (offsets_.back() != neighbors_.size()) {
+  if (offsets_[offsets_size_ - 1] != neighbors_size_) {
     return fail("offsets[V] != neighbor count");
   }
   const VertexId v_count = num_vertices();

@@ -1,11 +1,21 @@
 // Compressed sparse row graph storage. This is the storage layer only:
 // access methods (traversal kernels, accountants) live in core/ and
 // program against the offset/neighbor arrays exposed here.
+//
+// A Csr either owns its arrays (built by the generators / parser) or is
+// a *view* over externally owned memory -- e.g. an mmap-ed CSR cache
+// file (io/paged_csr.h), so traversal can run out-of-core with the
+// kernel paging neighbor lists in on demand. A view keeps its backing
+// alive through a shared_ptr; every consumer sees one Csr type either
+// way, so nothing above this layer distinguishes resident from paged.
 
 #ifndef EMOGI_GRAPH_CSR_H_
 #define EMOGI_GRAPH_CSR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,16 +33,63 @@ inline std::uint32_t EdgeWeight(EdgeIndex e) {
   return 1u + static_cast<std::uint32_t>(x % 31u);
 }
 
+// Non-owning read-only array view, the common currency for whole-graph
+// consumers regardless of whether the Csr owns its arrays or pages them
+// from a mapped file.
+template <typename T>
+class ConstSpan {
+ public:
+  ConstSpan() = default;
+  ConstSpan(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  friend bool operator==(ConstSpan a, ConstSpan b) {
+    if (a.size_ != b.size_) return false;
+    if (a.size_ == 0 || a.data_ == b.data_) return true;
+    return std::memcmp(a.data_, b.data_, a.size_ * sizeof(T)) == 0;
+  }
+  friend bool operator!=(ConstSpan a, ConstSpan b) { return !(a == b); }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class Csr {
  public:
   Csr() = default;
   Csr(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors,
       bool directed, std::string name);
 
+  // View over externally owned arrays (an mmap-ed cache file, a test's
+  // static tables). `backing` is held for the Csr's lifetime so the
+  // memory cannot be unmapped while any copy of the view is alive.
+  Csr(const EdgeIndex* offsets, std::size_t offsets_size,
+      const VertexId* neighbors, std::size_t neighbors_size, bool directed,
+      std::string name, std::shared_ptr<const void> backing);
+
+  // Copies re-anchor the array pointers when the source owns its
+  // vectors; views stay views (sharing the backing). Moves transfer the
+  // vector buffers, whose addresses are stable, so the defaults hold.
+  Csr(const Csr& other);
+  Csr& operator=(const Csr& other);
+  Csr(Csr&& other) noexcept = default;
+  Csr& operator=(Csr&& other) noexcept = default;
+
   VertexId num_vertices() const {
-    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+    return offsets_size_ == 0 ? 0 : static_cast<VertexId>(offsets_size_ - 1);
   }
-  EdgeIndex num_edges() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  EdgeIndex num_edges() const {
+    return offsets_size_ == 0 ? 0 : offsets_[offsets_size_ - 1];
+  }
 
   EdgeIndex NeighborBegin(VertexId v) const { return offsets_[v]; }
   EdgeIndex NeighborEnd(VertexId v) const { return offsets_[v + 1]; }
@@ -43,10 +100,18 @@ class Csr {
   bool directed() const { return directed_; }
   const std::string& name() const { return name_; }
 
+  // True when the arrays live in memory this Csr does not own (a paged
+  // view); false for the classic resident graph.
+  bool is_view() const { return backing_ != nullptr; }
+
   // Raw arrays for whole-graph consumers (binary cache serialization,
   // structural comparisons). Hot paths should use the indexed accessors.
-  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
-  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+  ConstSpan<EdgeIndex> offsets() const {
+    return ConstSpan<EdgeIndex>(offsets_, offsets_size_);
+  }
+  ConstSpan<VertexId> neighbors() const {
+    return ConstSpan<VertexId>(neighbors_, neighbors_size_);
+  }
 
   // Bytes of one edge element as laid out in (simulated) host memory.
   // 8 in the paper's default layout; Subway supports only 4.
@@ -68,8 +133,16 @@ class Csr {
   bool Validate(std::string* error) const;
 
  private:
-  std::vector<EdgeIndex> offsets_;
-  std::vector<VertexId> neighbors_;
+  // Owned storage (empty for views) ...
+  std::vector<EdgeIndex> owned_offsets_;
+  std::vector<VertexId> owned_neighbors_;
+  // ... and the pointers every accessor reads, anchored either to the
+  // owned vectors or to the view's backing memory.
+  const EdgeIndex* offsets_ = nullptr;
+  std::size_t offsets_size_ = 0;
+  const VertexId* neighbors_ = nullptr;
+  std::size_t neighbors_size_ = 0;
+  std::shared_ptr<const void> backing_;
   bool directed_ = false;
   std::uint32_t edge_elem_bytes_ = 8;
   std::string name_;

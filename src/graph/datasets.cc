@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -100,6 +102,31 @@ const DatasetInfo& GetDatasetInfo(const std::string& symbol) {
   return GetRecipe(symbol).info;
 }
 
+bool ParseByteCount(const std::string& text, std::uint64_t* bytes) {
+  if (text.empty() ||
+      !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || parsed == 0) return false;
+  std::uint64_t multiplier = 1;
+  if (*end == 'K' || *end == 'k') {
+    multiplier = std::uint64_t{1} << 10;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    multiplier = std::uint64_t{1} << 20;
+    ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    multiplier = std::uint64_t{1} << 30;
+    ++end;
+  }
+  if (*end != '\0' || parsed > ~std::uint64_t{0} / multiplier) return false;
+  *bytes = parsed * multiplier;
+  return true;
+}
+
 DataSource DataSource::FromEnv() {
   DataSource source;
   if (const char* dir = std::getenv("EMOGI_DATA_DIR")) {
@@ -118,6 +145,25 @@ DataSource DataSource::FromEnv() {
           "the data)\n");
     } else {
       source.cache_dir = dir;
+    }
+  }
+  if (const char* budget = std::getenv("EMOGI_MEMORY_BUDGET")) {
+    std::uint64_t bytes = 0;
+    if (!ParseByteCount(budget, &bytes)) {
+      WarnOnce(std::string("warning: ignoring EMOGI_MEMORY_BUDGET='") +
+               budget +
+               "' (expected a positive byte count, optionally suffixed "
+               "K/M/G); building in memory\n");
+    } else {
+      source.memory_budget = bytes;
+    }
+  }
+  if (const char* paged = std::getenv("EMOGI_PAGED_CSR")) {
+    if (paged == std::string("1")) {
+      source.paged = true;
+    } else if (paged != std::string("0")) {
+      WarnOnce(std::string("warning: ignoring EMOGI_PAGED_CSR='") + paged +
+               "' (expected 0 or 1); serving resident graphs\n");
     }
   }
   return source;
@@ -147,23 +193,34 @@ const Csr& LoadOrGenerateDataset(const std::string& symbol,
   const DatasetRecipe& recipe = GetRecipe(symbol);
   if (!source.data_dir.empty() &&
       fallbacks->count({symbol, source.data_dir}) == 0) {
-    const CacheKey real_key(symbol, source.data_dir, 0);
+    // Paged and resident servings are distinct cache entries: the bytes
+    // match, but a paged Csr is a view into the mapped cache file.
+    const CacheKey real_key(
+        symbol, source.data_dir + (source.paged ? "\x01paged" : ""), 0);
     auto it = cache->find(real_key);
     if (it != cache->end()) return it->second;
 
     Csr real;
     io::IngestReport report;
+    io::IngestOptions ingest_options;
+    ingest_options.cache_dir = source.cache_dir;
+    ingest_options.memory_budget = source.memory_budget;
+    ingest_options.paged = source.paged;
     std::string error;
     const io::IngestStatus status =
         io::LoadRealDataset(symbol, recipe.info.directed, source.data_dir,
-                            source.cache_dir, &real, &report, &error);
+                            ingest_options, &real, &report, &error);
     if (status == io::IngestStatus::kLoaded) {
-      std::fprintf(stderr,
-                   "emogi: %s <- %s (V=%llu, E=%llu, %s)\n", symbol.c_str(),
-                   report.edge_list_path.c_str(),
-                   static_cast<unsigned long long>(real.num_vertices()),
-                   static_cast<unsigned long long>(real.num_edges()),
-                   report.from_cache ? "CSR cache hit" : "parsed + cached");
+      std::fprintf(
+          stderr, "emogi: %s <- %s (V=%llu, E=%llu, %s%s)\n", symbol.c_str(),
+          report.edge_list_path.c_str(),
+          static_cast<unsigned long long>(real.num_vertices()),
+          static_cast<unsigned long long>(real.num_edges()),
+          report.from_cache
+              ? "CSR cache hit"
+              : (report.em.chunks > 0 ? "chunked build + cached"
+                                      : "parsed + cached"),
+          report.paged ? ", paged" : "");
       return cache->emplace(real_key, std::move(real)).first->second;
     }
     if (status == io::IngestStatus::kFailed) {
@@ -173,8 +230,8 @@ const Csr& LoadOrGenerateDataset(const std::string& symbol,
                    symbol.c_str(), error.c_str());
     } else {
       std::fprintf(stderr,
-                   "emogi: no %s.el/.txt under %s; using the generated "
-                   "analog\n",
+                   "emogi: no %s edge container (.el/.txt/.el.gz/.txt.gz/"
+                   ".bin) under %s; using the generated analog\n",
                    symbol.c_str(), source.data_dir.c_str());
     }
     fallbacks->insert({symbol, source.data_dir});

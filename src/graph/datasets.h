@@ -41,13 +41,26 @@ const DatasetInfo& GetDatasetInfo(const std::string& symbol);
 struct DataSource {
   std::string data_dir;
   std::string cache_dir;
+  // Out-of-core knobs (real graphs only; generated analogs ignore both):
+  // a nonzero budget routes ingestion through the external-memory
+  // chunked builder holding at most that many bytes of edge data
+  // resident, and `paged` serves traversal from an mmap-ed view of the
+  // CSR cache file instead of a resident copy.
+  std::uint64_t memory_budget = 0;
+  bool paged = false;
 
   // Strict env parsing, matching the bench::Options knobs: EMOGI_DATA_DIR
-  // must name an existing directory and EMOGI_CACHE_DIR must be
-  // non-empty, else the value is rejected with a warning and the
-  // (generated-analog) default kept.
+  // must name an existing directory, EMOGI_CACHE_DIR must be non-empty,
+  // EMOGI_MEMORY_BUDGET must be a positive byte count (optional K/M/G
+  // suffix, powers of 1024), and EMOGI_PAGED_CSR must be 0 or 1 -- else
+  // the value is rejected with a warning and the default kept.
   static DataSource FromEnv();
 };
+
+// Strict byte-count parse for EMOGI_MEMORY_BUDGET / --memory-budget:
+// a positive integer with an optional K/M/G suffix (powers of 1024).
+// Returns false on anything else, including overflow.
+bool ParseByteCount(const std::string& text, std::uint64_t* bytes);
 
 // Returns the dataset for `symbol`: the real graph from `source` when
 // its edge list exists there (scale is ignored for real graphs -- the

@@ -1,15 +1,13 @@
 #include "io/csr_cache.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 #include <vector>
+
+#include "io/stream.h"
 
 namespace emogi::io {
 namespace {
@@ -17,77 +15,10 @@ namespace {
 using graph::EdgeIndex;
 using graph::VertexId;
 
-constexpr std::uint32_t kDirectedFlag = 1u << 0;
-
-// Read-only view over the whole cache file: mmap when the kernel allows
-// it, a heap buffer otherwise (e.g. filesystems without mmap support).
-struct FileView {
-  const unsigned char* data = nullptr;
-  std::size_t size = 0;
-  bool mapped = false;
-  std::vector<unsigned char> owned;
-
-  ~FileView() {
-    if (mapped && data != nullptr) {
-      ::munmap(const_cast<unsigned char*>(data), size);
-    }
-  }
-};
-
-bool OpenView(const std::string& path, FileView* view, bool* missing,
-              std::string* error) {
-  *missing = false;
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    *missing = (errno == ENOENT);
-    if (error) *error = "cannot open '" + path + "'";
-    return false;
-  }
-  struct stat st {};
-  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-    ::close(fd);
-    if (error) *error = "cannot stat '" + path + "'";
-    return false;
-  }
-  view->size = static_cast<std::size_t>(st.st_size);
-  if (view->size > 0) {
-    void* map = ::mmap(nullptr, view->size, PROT_READ, MAP_PRIVATE, fd, 0);
-    if (map != MAP_FAILED) {
-      view->data = static_cast<const unsigned char*>(map);
-      view->mapped = true;
-    } else {
-      view->owned.resize(view->size);
-      std::size_t done = 0;
-      while (done < view->size) {
-        const ssize_t n = ::read(fd, view->owned.data() + done,
-                                 view->size - done);
-        if (n <= 0) {
-          ::close(fd);
-          if (error) *error = "short read on '" + path + "'";
-          return false;
-        }
-        done += static_cast<std::size_t>(n);
-      }
-      view->data = view->owned.data();
-    }
-  }
-  ::close(fd);
-  return true;
-}
-
 bool Invalid(std::string* error, const std::string& path,
              const std::string& what) {
   if (error) *error = path + ": " + what;
   return false;
-}
-
-// The checksum covers the header itself (with the checksum field
-// zeroed) as well as the payload, so bit rot in flags/counts/signature
-// is caught and not just in the arrays.
-std::uint64_t HeaderBasis(const CsrCacheHeader& header) {
-  CsrCacheHeader zeroed = header;
-  zeroed.payload_checksum = 0;
-  return Fnv1a64(&zeroed, sizeof(zeroed));
 }
 
 }  // namespace
@@ -103,24 +34,88 @@ std::uint64_t Fnv1a64(const void* data, std::size_t size,
   return hash;
 }
 
+// The checksum covers the header itself (with the checksum field
+// zeroed) as well as the payload, so bit rot in flags/counts/signature
+// is caught and not just in the arrays.
+std::uint64_t CsrCacheHeaderBasis(const CsrCacheHeader& header) {
+  CsrCacheHeader zeroed = header;
+  zeroed.payload_checksum = 0;
+  return Fnv1a64(&zeroed, sizeof(zeroed));
+}
+
+bool CheckCsrCacheBytes(const void* data, std::size_t size,
+                        const std::string& path,
+                        std::uint64_t expected_signature,
+                        CsrCacheHeader* header, std::string* error) {
+  if (size < sizeof(CsrCacheHeader)) {
+    return Invalid(error, path, "file shorter than the cache header");
+  }
+  std::memcpy(header, data, sizeof(*header));
+  if (header->magic != kCsrCacheMagic) {
+    return Invalid(error, path, "bad magic (not an EMOGI CSR cache)");
+  }
+  if (header->version != kCsrCacheVersion) {
+    return Invalid(error, path,
+                   "format version " + std::to_string(header->version) +
+                       " (this build reads version " +
+                       std::to_string(kCsrCacheVersion) + ")");
+  }
+  // Bound the counts before computing sizes so a crafted header cannot
+  // overflow the expected-size arithmetic.
+  if (header->vertex_count > 0xFFFFFFFEull ||
+      header->edge_count > (std::uint64_t{1} << 40) ||
+      header->name_length > (1u << 20)) {
+    return Invalid(error, path, "implausible header counts");
+  }
+  const std::uint64_t offsets_bytes =
+      (header->vertex_count + 1) * sizeof(EdgeIndex);
+  const std::uint64_t neighbors_bytes = header->edge_count * sizeof(VertexId);
+  const std::uint64_t expected_size =
+      sizeof(CsrCacheHeader) + CsrCachePaddedNameLength(header->name_length) +
+      offsets_bytes + neighbors_bytes;
+  if (size != expected_size) {
+    return Invalid(error, path,
+                   "size mismatch (" + std::to_string(size) + " bytes, header "
+                       "promises " + std::to_string(expected_size) +
+                       ") -- truncated?");
+  }
+  const auto* payload =
+      static_cast<const unsigned char*>(data) + sizeof(CsrCacheHeader);
+  const std::uint64_t checksum =
+      Fnv1a64(payload, size - sizeof(CsrCacheHeader),
+              CsrCacheHeaderBasis(*header));
+  if (checksum != header->payload_checksum) {
+    return Invalid(error, path, "payload checksum mismatch -- corrupt cache");
+  }
+  if (expected_signature != 0 &&
+      header->source_signature != expected_signature) {
+    return Invalid(error, path, "source signature mismatch -- stale cache");
+  }
+  return true;
+}
+
 bool SaveCsrCache(const graph::Csr& csr, const std::string& path,
                   std::uint64_t source_signature, std::string* error) {
-  const std::vector<EdgeIndex>& offsets = csr.offsets();
-  const std::vector<VertexId>& neighbors = csr.neighbors();
+  const graph::ConstSpan<EdgeIndex> offsets = csr.offsets();
+  const graph::ConstSpan<VertexId> neighbors = csr.neighbors();
   if (offsets.empty()) {
     if (error) *error = "refusing to cache an empty CSR";
     return false;
   }
 
   CsrCacheHeader header;
-  header.flags = csr.directed() ? kDirectedFlag : 0;
+  header.flags = csr.directed() ? kCsrCacheDirectedFlag : 0;
   header.edge_elem_bytes = csr.edge_elem_bytes();
   header.vertex_count = csr.num_vertices();
   header.edge_count = neighbors.size();
   header.source_signature = source_signature;
   header.name_length = static_cast<std::uint32_t>(csr.name().size());
-  std::uint64_t checksum =
-      Fnv1a64(csr.name().data(), csr.name().size(), HeaderBasis(header));
+  // The name section is zero-padded to an 8-byte boundary (see the
+  // layout comment in the header); the checksum covers the pad too.
+  std::string padded_name = csr.name();
+  padded_name.resize(CsrCachePaddedNameLength(padded_name.size()), '\0');
+  std::uint64_t checksum = Fnv1a64(padded_name.data(), padded_name.size(),
+                                   CsrCacheHeaderBasis(header));
   checksum = Fnv1a64(offsets.data(), offsets.size() * sizeof(EdgeIndex),
                      checksum);
   checksum = Fnv1a64(neighbors.data(), neighbors.size() * sizeof(VertexId),
@@ -139,8 +134,8 @@ bool SaveCsrCache(const graph::Csr& csr, const std::string& path,
   }
   const bool wrote =
       std::fwrite(&header, sizeof(header), 1, file) == 1 &&
-      (csr.name().empty() ||
-       std::fwrite(csr.name().data(), csr.name().size(), 1, file) == 1) &&
+      (padded_name.empty() ||
+       std::fwrite(padded_name.data(), padded_name.size(), 1, file) == 1) &&
       std::fwrite(offsets.data(), sizeof(EdgeIndex), offsets.size(), file) ==
           offsets.size() &&
       (neighbors.empty() ||
@@ -165,70 +160,33 @@ CacheLoadResult LoadCsrCache(const std::string& path,
                              graph::Csr* out, std::string* error) {
   FileView view;
   bool missing = false;
-  if (!OpenView(path, &view, &missing, error)) {
+  if (!OpenFileView(path, &view, &missing, error)) {
     return missing ? CacheLoadResult::kMissing : CacheLoadResult::kInvalid;
   }
 
   CsrCacheHeader header;
-  if (view.size < sizeof(header)) {
-    Invalid(error, path, "file shorter than the cache header");
-    return CacheLoadResult::kInvalid;
-  }
-  std::memcpy(&header, view.data, sizeof(header));
-  if (header.magic != kCsrCacheMagic) {
-    Invalid(error, path, "bad magic (not an EMOGI CSR cache)");
-    return CacheLoadResult::kInvalid;
-  }
-  if (header.version != kCsrCacheVersion) {
-    Invalid(error, path,
-            "format version " + std::to_string(header.version) +
-                " (this build reads version " +
-                std::to_string(kCsrCacheVersion) + ")");
-    return CacheLoadResult::kInvalid;
-  }
-  // Bound the counts before computing sizes so a crafted header cannot
-  // overflow the expected-size arithmetic.
-  if (header.vertex_count > 0xFFFFFFFEull ||
-      header.edge_count > (std::uint64_t{1} << 40) ||
-      header.name_length > (1u << 20)) {
-    Invalid(error, path, "implausible header counts");
-    return CacheLoadResult::kInvalid;
-  }
-  const std::uint64_t offsets_bytes =
-      (header.vertex_count + 1) * sizeof(EdgeIndex);
-  const std::uint64_t neighbors_bytes = header.edge_count * sizeof(VertexId);
-  const std::uint64_t expected_size =
-      sizeof(header) + header.name_length + offsets_bytes + neighbors_bytes;
-  if (view.size != expected_size) {
-    Invalid(error, path,
-            "size mismatch (" + std::to_string(view.size) + " bytes, header "
-                "promises " + std::to_string(expected_size) + ") -- truncated?");
-    return CacheLoadResult::kInvalid;
-  }
-  const unsigned char* payload = view.data + sizeof(header);
-  const std::uint64_t checksum =
-      Fnv1a64(payload, view.size - sizeof(header), HeaderBasis(header));
-  if (checksum != header.payload_checksum) {
-    Invalid(error, path, "payload checksum mismatch -- corrupt cache");
-    return CacheLoadResult::kInvalid;
-  }
-  if (expected_signature != 0 &&
-      header.source_signature != expected_signature) {
-    Invalid(error, path, "source signature mismatch -- stale cache");
+  if (!CheckCsrCacheBytes(view.data(), view.size(), path, expected_signature,
+                          &header, error)) {
     return CacheLoadResult::kInvalid;
   }
 
+  const unsigned char* payload = view.data() + sizeof(header);
   std::string name(reinterpret_cast<const char*>(payload),
                    header.name_length);
-  payload += header.name_length;
+  payload += CsrCachePaddedNameLength(header.name_length);
+  const std::uint64_t offsets_bytes =
+      (header.vertex_count + 1) * sizeof(EdgeIndex);
   std::vector<EdgeIndex> offsets(header.vertex_count + 1);
   std::memcpy(offsets.data(), payload, offsets_bytes);
   payload += offsets_bytes;
   std::vector<VertexId> neighbors(header.edge_count);
-  if (neighbors_bytes > 0) std::memcpy(neighbors.data(), payload, neighbors_bytes);
+  if (header.edge_count > 0) {
+    std::memcpy(neighbors.data(), payload,
+                header.edge_count * sizeof(VertexId));
+  }
 
   graph::Csr csr(std::move(offsets), std::move(neighbors),
-                 (header.flags & kDirectedFlag) != 0, std::move(name));
+                 (header.flags & kCsrCacheDirectedFlag) != 0, std::move(name));
   csr.set_edge_elem_bytes(header.edge_elem_bytes);
   std::string validate_error;
   // The checksum proves the bytes round-tripped; Validate proves they

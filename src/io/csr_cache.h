@@ -6,9 +6,15 @@
 //   CsrCacheHeader   56 bytes: magic 'EMGC', format version, flags
 //                    (bit 0 = directed), edge_elem_bytes, vertex/edge
 //                    counts, source signature, FNV-1a payload checksum
-//   name             name_length bytes (graph name, no terminator)
-//   offsets          (vertex_count + 1) * 8 bytes
-//   neighbors        edge_count * 4 bytes
+//   name             name_length bytes (graph name, no terminator),
+//                    zero-padded to the next 8-byte boundary so the
+//                    arrays that follow are naturally aligned -- the
+//                    paged loader (io/paged_csr.h) points traversal
+//                    directly into the mapping, which requires aligned
+//                    u64/u32 access (format v2; v1 files, unpadded, are
+//                    rejected by the version check and re-ingested)
+//   offsets          (vertex_count + 1) * 8 bytes, 8-byte aligned
+//   neighbors        edge_count * 4 bytes, 4-byte aligned
 //
 // The checksum covers the header itself (with the checksum field
 // zeroed) plus everything after it, so truncation and bit rot -- in the
@@ -30,7 +36,8 @@
 namespace emogi::io {
 
 constexpr std::uint32_t kCsrCacheMagic = 0x43474D45u;  // "EMGC" on disk.
-constexpr std::uint32_t kCsrCacheVersion = 1;
+constexpr std::uint32_t kCsrCacheVersion = 2;
+constexpr std::uint32_t kCsrCacheDirectedFlag = 1u << 0;
 
 struct CsrCacheHeader {
   std::uint32_t magic = kCsrCacheMagic;
@@ -46,6 +53,12 @@ struct CsrCacheHeader {
 };
 static_assert(sizeof(CsrCacheHeader) == 56, "cache header layout is ABI");
 
+// Bytes the name section occupies on disk (zero-padded so the offset
+// array that follows stays 8-byte aligned).
+constexpr std::uint64_t CsrCachePaddedNameLength(std::uint64_t name_length) {
+  return (name_length + 7) / 8 * 8;
+}
+
 enum class CacheLoadResult {
   kLoaded,   // `out` holds the cached graph.
   kMissing,  // No file at `path` -- a plain cache miss.
@@ -57,6 +70,22 @@ enum class CacheLoadResult {
 std::uint64_t Fnv1a64(const void* data, std::size_t size,
                       std::uint64_t basis = 0xCBF29CE484222325ull);
 
+// The checksum basis covering the header itself (checksum field
+// zeroed); chain the name/pad, offset, and neighbor bytes onto it, in
+// file order, to reproduce `payload_checksum`. Exposed so the
+// external-memory builder (io/em_builder.cc) can stream-write files
+// byte-identical to SaveCsrCache's.
+std::uint64_t CsrCacheHeaderBasis(const CsrCacheHeader& header);
+
+// Validates raw cache-file bytes: header sanity, exact size arithmetic,
+// payload checksum, and (when nonzero) the source signature. On success
+// fills *header; on failure returns false with a path-prefixed error.
+// Shared by the copying loader below and the mmap-paged loader.
+bool CheckCsrCacheBytes(const void* data, std::size_t size,
+                        const std::string& path,
+                        std::uint64_t expected_signature,
+                        CsrCacheHeader* header, std::string* error);
+
 // Serializes `csr` to `path` (via a temp file + rename, so readers never
 // observe a half-written cache). Returns false and fills `error` on I/O
 // failure. The write is deterministic: the same CSR always produces
@@ -67,7 +96,9 @@ bool SaveCsrCache(const graph::Csr& csr, const std::string& path,
 // Loads `path`, mmap-ing it read-only when possible and falling back to
 // buffered reads. `expected_signature` != 0 additionally requires the
 // stored source signature to match. The loaded graph is revalidated
-// structurally (Csr::Validate) before being returned.
+// structurally (Csr::Validate) before being returned. The arrays are
+// copied out of the file view -- the returned graph is fully resident;
+// io/paged_csr.h is the out-of-core alternative.
 CacheLoadResult LoadCsrCache(const std::string& path,
                              std::uint64_t expected_signature,
                              graph::Csr* out, std::string* error);

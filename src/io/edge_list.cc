@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "io/stream.h"
+
 namespace emogi::io {
 namespace {
 
@@ -32,11 +34,16 @@ bool ParseId(const char*& p, const char* end, std::uint64_t* out) {
   return true;
 }
 
-// Accumulates parsed edges; lines are fed one at a time so the file
-// reader can stream chunks without materializing the text.
-class EdgeAccumulator {
+// Validates lines / binary pairs one record at a time and hands every
+// accepted arc -- packed (src << 32) | dst, self-loops dropped,
+// undirected pairs canonicalized to (min, max) -- to `emit`. The
+// in-memory parse's emit accumulates a vector; the external-memory
+// builder's emit spills to chunk files. Either way the walk itself
+// holds no edge state.
+class ArcEmitter {
  public:
-  explicit EdgeAccumulator(bool directed) : directed_(directed) {}
+  ArcEmitter(bool directed, const std::function<bool(std::uint64_t)>& emit)
+      : directed_(directed), emit_(emit) {}
 
   bool ConsumeLine(const char* begin, const char* end, std::string* error) {
     ++stats_.lines;
@@ -70,7 +77,25 @@ class EdgeAccumulator {
       while (p != end && IsSpace(*p)) ++p;
       if (p != end) return Fail(error, "too many columns");
     }
+    return ConsumeArc(src, dst);
+  }
 
+  // One record of the binary pair container (counted as a "line" so the
+  // record number in diagnostics stays meaningful).
+  bool ConsumePair(std::uint32_t src, std::uint32_t dst, std::string* error) {
+    ++stats_.lines;
+    if (src > kMaxVertexId || dst > kMaxVertexId) {
+      return Fail(error, "vertex id out of range");
+    }
+    return ConsumeArc(src, dst);
+  }
+
+  const EdgeListStats& stats() const { return stats_; }
+  std::uint64_t max_id() const { return max_id_; }
+  bool aborted() const { return aborted_; }
+
+ private:
+  bool ConsumeArc(std::uint64_t src, std::uint64_t dst) {
     ++stats_.accepted_edges;
     // Even a dropped self-loop's endpoint belongs to the vertex
     // universe, so update the id bound before filtering.
@@ -82,49 +107,13 @@ class EdgeAccumulator {
     // Undirected edges are canonicalized to (min, max) so "u v" and
     // "v u" dedup to one edge before being mirrored into the CSR.
     if (!directed_ && src > dst) std::swap(src, dst);
-    edges_.push_back((src << 32) | dst);
-    return true;
-  }
-
-  bool Build(const std::string& name, graph::Csr* out, std::string* error) {
-    if (edges_.empty()) {
-      if (error) {
-        *error = "no edges found (" + std::to_string(stats_.lines) +
-                 " lines, all comments/blanks/self-loops)";
-      }
+    if (!emit_((src << 32) | dst)) {
+      aborted_ = true;
       return false;
     }
-    std::sort(edges_.begin(), edges_.end());
-    const std::size_t before = edges_.size();
-    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-    stats_.duplicate_edges = before - edges_.size();
-
-    if (!directed_) {
-      const std::size_t half = edges_.size();
-      edges_.reserve(2 * half);
-      for (std::size_t i = 0; i < half; ++i) {
-        const std::uint64_t e = edges_[i];
-        edges_.push_back((e << 32) | (e >> 32));
-      }
-      std::sort(edges_.begin(), edges_.end());
-    }
-
-    const auto v_count = static_cast<std::size_t>(max_id_ + 1);
-    std::vector<EdgeIndex> offsets(v_count + 1, 0);
-    for (const std::uint64_t e : edges_) ++offsets[(e >> 32) + 1];
-    for (std::size_t v = 0; v < v_count; ++v) offsets[v + 1] += offsets[v];
-    std::vector<VertexId> neighbors(edges_.size());
-    for (std::size_t i = 0; i < edges_.size(); ++i) {
-      neighbors[i] = static_cast<VertexId>(edges_[i] & 0xFFFFFFFFull);
-    }
-    *out = graph::Csr(std::move(offsets), std::move(neighbors), directed_,
-                      name);
     return true;
   }
 
-  const EdgeListStats& stats() const { return stats_; }
-
- private:
   bool Fail(std::string* error, const char* what) {
     if (error) {
       *error = "line " + std::to_string(stats_.lines) + ": " + what +
@@ -135,9 +124,10 @@ class EdgeAccumulator {
   }
 
   bool directed_;
-  std::vector<std::uint64_t> edges_;  // (src << 32) | dst packed pairs.
+  const std::function<bool(std::uint64_t)>& emit_;
   std::uint64_t max_id_ = 0;
   EdgeListStats stats_;
+  bool aborted_ = false;
 };
 
 // A real edge line is tens of bytes; anything carrying this much text
@@ -147,7 +137,7 @@ constexpr std::size_t kMaxLineBytes = std::size_t{1} << 16;
 
 // Splits a chunk into lines, carrying any unterminated tail into `carry`
 // so the next chunk (or Finish) completes it.
-bool FeedChunk(EdgeAccumulator& acc, std::string& carry, const char* data,
+bool FeedChunk(ArcEmitter& acc, std::string& carry, const char* data,
                std::size_t size, std::string* error) {
   const char* p = data;
   const char* const end = data + size;
@@ -180,8 +170,7 @@ bool FeedChunk(EdgeAccumulator& acc, std::string& carry, const char* data,
   return true;
 }
 
-bool FinishFeed(EdgeAccumulator& acc, std::string& carry,
-                std::string* error) {
+bool FinishFeed(ArcEmitter& acc, std::string& carry, std::string* error) {
   // A final line without a trailing newline is normal; an *incomplete*
   // one (e.g. a file truncated mid-edge) fails inside ConsumeLine.
   if (carry.empty()) return true;
@@ -191,16 +180,176 @@ bool FinishFeed(EdgeAccumulator& acc, std::string& carry,
   return ok;
 }
 
+bool EndsWith(const std::string& text, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+// Reads exactly `size` bytes unless the stream ends first; `*got` is
+// the byte count actually read.
+bool ReadFully(InputStream& in, void* buffer, std::size_t size,
+               std::size_t* got, std::string* error) {
+  auto* bytes = static_cast<unsigned char*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    const std::ptrdiff_t n = in.Read(bytes + done, size - done, error);
+    if (n < 0) return false;
+    if (n == 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  *got = done;
+  return true;
+}
+
+// Walks the packed pair container through `acc`.
+bool StreamBinContainer(InputStream& in, const std::string& path,
+                        ArcEmitter& acc, std::string* error) {
+  BinEdgeHeader header;
+  std::size_t got = 0;
+  if (!ReadFully(in, &header, sizeof(header), &got, error)) return false;
+  if (got != sizeof(header)) {
+    if (error) *error = path + ": shorter than the pair-container header";
+    return false;
+  }
+  if (header.magic != kBinEdgeMagic) {
+    if (error) *error = path + ": bad magic (not an EMOGI pair container)";
+    return false;
+  }
+  if (header.version != kBinEdgeVersion) {
+    if (error) {
+      *error = path + ": pair-container version " +
+               std::to_string(header.version) + " (this build reads version " +
+               std::to_string(kBinEdgeVersion) + ")";
+    }
+    return false;
+  }
+  std::vector<std::uint32_t> buffer(2 * 4096);
+  std::uint64_t remaining = header.pair_count;
+  while (remaining > 0) {
+    const std::size_t pairs = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, buffer.size() / 2));
+    if (!ReadFully(in, buffer.data(), pairs * 8, &got, error)) return false;
+    if (got != pairs * 8) {
+      if (error) {
+        *error = path + ": truncated pair container (header promises " +
+                 std::to_string(header.pair_count) + " pairs)";
+      }
+      return false;
+    }
+    for (std::size_t i = 0; i < pairs; ++i) {
+      if (!acc.ConsumePair(buffer[2 * i], buffer[2 * i + 1], error)) {
+        return false;
+      }
+    }
+    remaining -= pairs;
+  }
+  unsigned char extra = 0;
+  if (!ReadFully(in, &extra, 1, &got, error)) return false;
+  if (got != 0) {
+    if (error) *error = path + ": trailing bytes after the promised pairs";
+    return false;
+  }
+  return true;
+}
+
+bool StreamContainer(const std::string& path, bool directed,
+                     const std::function<bool(std::uint64_t)>& arc,
+                     EdgeListStats* stats, std::uint64_t* max_id,
+                     std::string* error, std::size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::unique_ptr<InputStream> in = OpenContainerStream(path, error);
+  if (in == nullptr) return false;
+
+  ArcEmitter acc(directed, arc);
+  bool ok = true;
+  if (EndsWith(path, ".bin")) {
+    ok = StreamBinContainer(*in, path, acc, error);
+  } else {
+    std::string carry;
+    std::vector<char> buffer(chunk_size);
+    while (ok) {
+      const std::ptrdiff_t n = in->Read(buffer.data(), buffer.size(), error);
+      if (n < 0) {
+        ok = false;
+        break;
+      }
+      if (n == 0) break;
+      ok = FeedChunk(acc, carry, buffer.data(), static_cast<std::size_t>(n),
+                     error);
+    }
+    ok = ok && FinishFeed(acc, carry, error);
+  }
+  if (stats) *stats = acc.stats();
+  if (max_id) *max_id = acc.max_id();
+  if (!ok && !acc.aborted() && error && error->rfind("line ", 0) == 0) {
+    *error = path + ": " + *error;
+  }
+  return ok;
+}
+
+// Sorts, dedups, and (for undirected graphs) mirrors the accumulated
+// arc set, then lays it out as a CSR -- the shared tail of every
+// in-memory parse.
+bool BuildCsrFromArcs(std::vector<std::uint64_t>& edges, bool directed,
+                      std::uint64_t max_id, std::uint64_t total_lines,
+                      const std::string& name, graph::Csr* out,
+                      std::uint64_t* duplicate_edges, std::string* error) {
+  if (edges.empty()) {
+    if (error) {
+      *error = "no edges found (" + std::to_string(total_lines) +
+               " lines, all comments/blanks/self-loops)";
+    }
+    return false;
+  }
+  std::sort(edges.begin(), edges.end());
+  const std::size_t before = edges.size();
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  *duplicate_edges = before - edges.size();
+
+  if (!directed) {
+    const std::size_t half = edges.size();
+    edges.reserve(2 * half);
+    for (std::size_t i = 0; i < half; ++i) {
+      const std::uint64_t e = edges[i];
+      edges.push_back((e << 32) | (e >> 32));
+    }
+    std::sort(edges.begin(), edges.end());
+  }
+
+  const auto v_count = static_cast<std::size_t>(max_id + 1);
+  std::vector<EdgeIndex> offsets(v_count + 1, 0);
+  for (const std::uint64_t e : edges) ++offsets[(e >> 32) + 1];
+  for (std::size_t v = 0; v < v_count; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> neighbors(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    neighbors[i] = static_cast<VertexId>(edges[i] & 0xFFFFFFFFull);
+  }
+  *out = graph::Csr(std::move(offsets), std::move(neighbors), directed, name);
+  return true;
+}
+
 }  // namespace
 
 bool ParseEdgeListText(const char* data, std::size_t size, bool directed,
                        const std::string& name, graph::Csr* out,
                        EdgeListStats* stats, std::string* error) {
-  EdgeAccumulator acc(directed);
+  std::vector<std::uint64_t> edges;
+  const std::function<bool(std::uint64_t)> collect =
+      [&edges](std::uint64_t packed) {
+        edges.push_back(packed);
+        return true;
+      };
+  ArcEmitter acc(directed, collect);
   std::string carry;
+  EdgeListStats local;
+  std::uint64_t duplicates = 0;
   bool ok = FeedChunk(acc, carry, data, size, error) &&
-            FinishFeed(acc, carry, error) && acc.Build(name, out, error);
-  if (stats) *stats = acc.stats();
+            FinishFeed(acc, carry, error);
+  local = acc.stats();
+  ok = ok && BuildCsrFromArcs(edges, directed, acc.max_id(), local.lines,
+                              name, out, &duplicates, error);
+  local.duplicate_edges = duplicates;
+  if (stats) *stats = local;
   return ok;
 }
 
@@ -208,30 +357,66 @@ bool ParseEdgeListFile(const std::string& path, bool directed,
                        const std::string& name, graph::Csr* out,
                        EdgeListStats* stats, std::string* error,
                        std::size_t chunk_size) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
+  std::vector<std::uint64_t> edges;
+  EdgeListStats local;
+  std::uint64_t max_id = 0;
+  std::uint64_t duplicates = 0;
+  bool ok = StreamEdgeContainer(
+      path, directed,
+      [&edges](std::uint64_t packed) {
+        edges.push_back(packed);
+        return true;
+      },
+      &local, &max_id, error, chunk_size);
+  ok = ok && BuildCsrFromArcs(edges, directed, max_id, local.lines, name, out,
+                              &duplicates, error);
+  local.duplicate_edges = duplicates;
+  if (stats) *stats = local;
+  if (!ok && error && error->rfind("no edges found", 0) == 0) {
+    *error = path + ": " + *error;
+  }
+  return ok;
+}
+
+bool StreamEdgeContainer(const std::string& path, bool directed,
+                         const std::function<bool(std::uint64_t)>& arc,
+                         EdgeListStats* stats, std::uint64_t* max_id,
+                         std::string* error, std::size_t chunk_size) {
+  return StreamContainer(path, directed, arc, stats, max_id, error,
+                         chunk_size);
+}
+
+bool WriteEdgeBin(const graph::Csr& csr, const std::string& path,
+                  std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
-    if (error) *error = "cannot open '" + path + "'";
+    if (error) *error = "cannot create '" + path + "'";
     return false;
   }
-  if (chunk_size == 0) chunk_size = 1;
-  EdgeAccumulator acc(directed);
-  std::string carry;
-  std::vector<char> buffer(chunk_size);
-  bool ok = true;
-  while (ok) {
-    const std::size_t n = std::fread(buffer.data(), 1, buffer.size(), file);
-    if (n == 0) break;
-    ok = FeedChunk(acc, carry, buffer.data(), n, error);
+  BinEdgeHeader header;
+  header.pair_count = csr.num_edges();
+  bool ok = std::fwrite(&header, sizeof(header), 1, file) == 1;
+  std::vector<std::uint32_t> buffer;
+  buffer.reserve(2 * 4096);
+  for (VertexId v = 0; ok && v < csr.num_vertices(); ++v) {
+    for (EdgeIndex e = csr.NeighborBegin(v); e < csr.NeighborEnd(v); ++e) {
+      buffer.push_back(v);
+      buffer.push_back(csr.Neighbor(e));
+      if (buffer.size() == buffer.capacity()) {
+        ok = std::fwrite(buffer.data(), 4, buffer.size(), file) ==
+             buffer.size();
+        buffer.clear();
+        if (!ok) break;
+      }
+    }
   }
-  if (ok && std::ferror(file)) {
-    if (error) *error = "read error on '" + path + "'";
-    ok = false;
+  if (ok && !buffer.empty()) {
+    ok = std::fwrite(buffer.data(), 4, buffer.size(), file) == buffer.size();
   }
-  std::fclose(file);
-  ok = ok && FinishFeed(acc, carry, error) && acc.Build(name, out, error);
-  if (stats) *stats = acc.stats();
-  if (!ok && error && error->rfind("line ", 0) == 0) {
-    *error = path + ": " + *error;
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) {
+    std::remove(path.c_str());
+    if (error) *error = "write failed for '" + path + "'";
   }
   return ok;
 }

@@ -1,0 +1,391 @@
+#include "io/em_builder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "io/csr_cache.h"
+
+namespace emogi::io {
+namespace {
+
+using graph::EdgeIndex;
+using graph::VertexId;
+
+constexpr std::uint64_t kArcBytes = sizeof(std::uint64_t);
+
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(std::function<void()> fn) : fn_(std::move(fn)) {}
+  ~ScopeGuard() {
+    if (fn_) fn_();
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  std::function<void()> fn_;
+};
+
+// One chunk's spill file plus its bounded write buffer. stdio buffering
+// is off (_IONBF) so the accounted buffer is the only buffering.
+struct ChunkSpill {
+  std::string path;
+  std::FILE* file = nullptr;
+  std::vector<std::uint64_t> buffer;
+  std::uint64_t bytes = 0;
+};
+
+bool FlushSpill(ChunkSpill* spill, std::string* error) {
+  if (spill->buffer.empty()) return true;
+  if (std::fwrite(spill->buffer.data(), kArcBytes, spill->buffer.size(),
+                  spill->file) != spill->buffer.size()) {
+    if (error) *error = "spill write failed for '" + spill->path + "'";
+    return false;
+  }
+  spill->bytes += spill->buffer.size() * kArcBytes;
+  spill->buffer.clear();
+  return true;
+}
+
+}  // namespace
+
+bool BuildCsrCacheExternal(const std::string& container_path, bool directed,
+                           const std::string& name,
+                           const std::string& cache_path,
+                           std::uint64_t source_signature,
+                           std::uint64_t memory_budget, EmBuildReport* report,
+                           std::string* error) {
+  EmBuildReport local_report;
+  EmBuildReport* rep = report != nullptr ? report : &local_report;
+  *rep = EmBuildReport();
+  if (memory_budget < 2 * kArcBytes) {
+    if (error) {
+      *error = "memory budget of " + std::to_string(memory_budget) +
+               " bytes cannot hold even one arc per pass half; set "
+               "EMOGI_MEMORY_BUDGET to at least 16";
+    }
+    return false;
+  }
+
+  // ---- Pass 1: provisional per-source arc counts (see header). ----
+  std::vector<std::uint64_t> provisional;
+  const std::function<bool(std::uint64_t)> count_arc =
+      [&provisional, directed](std::uint64_t arc) {
+        const auto src = static_cast<VertexId>(arc >> 32);
+        const auto dst = static_cast<VertexId>(arc);
+        const VertexId hi = src > dst ? src : dst;
+        if (hi >= provisional.size()) provisional.resize(hi + 1, 0);
+        ++provisional[src];
+        if (!directed) ++provisional[dst];
+        return true;
+      };
+  std::uint64_t max_id = 0;
+  if (!StreamEdgeContainer(container_path, directed, count_arc, &rep->stats,
+                           &max_id, error)) {
+    return false;
+  }
+  if (rep->stats.accepted_edges == 0) {
+    if (error) {
+      *error = container_path + ": no edges found (" +
+               std::to_string(rep->stats.lines) +
+               " lines, all comments/blanks/self-loops)";
+    }
+    return false;
+  }
+  rep->edges_streamed = rep->stats.accepted_edges;
+  const std::uint64_t vertex_count = max_id + 1;
+  provisional.resize(vertex_count, 0);
+
+  // ---- Partition vertices into contiguous chunks of <= budget/2. ----
+  const std::uint64_t chunk_capacity = memory_budget / 2;
+  std::vector<std::uint64_t> chunk_begin{0};
+  std::uint64_t running_bytes = 0;
+  for (std::uint64_t v = 0; v < vertex_count; ++v) {
+    const std::uint64_t bytes = provisional[v] * kArcBytes;
+    if (bytes > chunk_capacity) {
+      if (error) {
+        *error = "memory budget " + std::to_string(memory_budget) +
+                 " is smaller than one chunk: vertex " + std::to_string(v) +
+                 " alone carries " + std::to_string(bytes) +
+                 " bytes of arcs, and a resident chunk may only use half "
+                 "the budget; set EMOGI_MEMORY_BUDGET to at least " +
+                 std::to_string(2 * bytes);
+      }
+      return false;
+    }
+    if (running_bytes + bytes > chunk_capacity) {
+      chunk_begin.push_back(v);
+      running_bytes = 0;
+    }
+    running_bytes += bytes;
+  }
+  chunk_begin.push_back(vertex_count);
+  const std::size_t num_chunks = chunk_begin.size() - 1;
+  rep->chunks = num_chunks;
+
+  std::vector<std::uint32_t> chunk_of(vertex_count);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    for (std::uint64_t v = chunk_begin[c]; v < chunk_begin[c + 1]; ++v) {
+      chunk_of[v] = static_cast<std::uint32_t>(c);
+    }
+  }
+  provisional = std::vector<std::uint64_t>();
+
+  // ---- Pass 2: spill arcs per chunk through bounded buffers. ----
+  const std::string pid_suffix = std::to_string(static_cast<long>(::getpid()));
+  std::uint64_t buffer_arcs = std::max<std::uint64_t>(
+      1, chunk_capacity / num_chunks / kArcBytes);
+  buffer_arcs = std::min<std::uint64_t>(buffer_arcs, (1u << 20) / kArcBytes);
+
+  std::vector<ChunkSpill> spills(num_chunks);
+  ScopeGuard spill_cleanup([&spills] {
+    for (ChunkSpill& s : spills) {
+      if (s.file != nullptr) std::fclose(s.file);
+      if (!s.path.empty()) std::remove(s.path.c_str());
+    }
+  });
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::string path =
+        cache_path + ".spill." + std::to_string(c) + "." + pid_suffix;
+    spills[c].file = std::fopen(path.c_str(), "wb");
+    if (spills[c].file == nullptr) {
+      if (error) *error = "cannot create spill file '" + path + "'";
+      return false;
+    }
+    spills[c].path = path;
+    std::setvbuf(spills[c].file, nullptr, _IONBF, 0);
+    spills[c].buffer.reserve(static_cast<std::size_t>(buffer_arcs));
+  }
+  rep->peak_resident_bytes = std::max(rep->peak_resident_bytes,
+                                      num_chunks * buffer_arcs * kArcBytes);
+
+  std::string spill_error;
+  auto emit = [&](std::uint64_t packed) {
+    const auto src = static_cast<VertexId>(packed >> 32);
+    if (src >= vertex_count) {
+      spill_error = container_path + ": container changed between "
+                    "ingestion passes";
+      return false;
+    }
+    ChunkSpill& s = spills[chunk_of[src]];
+    s.buffer.push_back(packed);
+    if (s.buffer.size() >= buffer_arcs) return FlushSpill(&s, &spill_error);
+    return true;
+  };
+  const std::function<bool(std::uint64_t)> spill_arc =
+      [&emit, directed](std::uint64_t arc) {
+        if (!emit(arc)) return false;
+        // Undirected arcs arrive canonicalized (src < dst, self-loops
+        // already dropped); the mirror arc is materialized here, before
+        // dedup, which removes duplicates identically either way.
+        if (!directed) return emit((arc << 32) | (arc >> 32));
+        return true;
+      };
+  EdgeListStats second_stats;
+  std::uint64_t second_max = 0;
+  std::string second_error;
+  if (!StreamEdgeContainer(container_path, directed, spill_arc, &second_stats,
+                           &second_max, &second_error)) {
+    if (error) *error = spill_error.empty() ? second_error : spill_error;
+    return false;
+  }
+  if (second_stats.accepted_edges != rep->stats.accepted_edges) {
+    if (error) {
+      *error = container_path + ": container changed between ingestion passes";
+    }
+    return false;
+  }
+  for (ChunkSpill& s : spills) {
+    if (!FlushSpill(&s, &spill_error)) {
+      if (error) *error = spill_error;
+      return false;
+    }
+    const bool closed = std::fclose(s.file) == 0;
+    s.file = nullptr;
+    if (!closed) {
+      if (error) *error = "spill write failed for '" + s.path + "'";
+      return false;
+    }
+    rep->spill_bytes += s.bytes;
+    s.buffer = std::vector<std::uint64_t>();
+  }
+
+  // ---- Pass 3: per-chunk sort + dedup, neighbors to the part file. ----
+  const std::string part_path = cache_path + ".part." + pid_suffix;
+  std::FILE* part = std::fopen(part_path.c_str(), "wb");
+  if (part == nullptr) {
+    if (error) *error = "cannot create part file '" + part_path + "'";
+    return false;
+  }
+  std::setvbuf(part, nullptr, _IONBF, 0);
+  ScopeGuard part_cleanup([&part, &part_path] {
+    if (part != nullptr) std::fclose(part);
+    std::remove(part_path.c_str());
+  });
+
+  const auto copy_buffer_bytes = static_cast<std::size_t>(
+      std::min<std::uint64_t>(std::uint64_t{1} << 18,
+                              std::max<std::uint64_t>(kArcBytes,
+                                                      memory_budget / 4)));
+  std::vector<VertexId> part_buffer;
+  part_buffer.reserve(copy_buffer_bytes / sizeof(VertexId));
+  auto flush_part = [&part, &part_buffer]() {
+    if (part_buffer.empty()) return true;
+    const bool ok = std::fwrite(part_buffer.data(), sizeof(VertexId),
+                                part_buffer.size(),
+                                part) == part_buffer.size();
+    part_buffer.clear();
+    return ok;
+  };
+
+  std::vector<EdgeIndex> offsets(vertex_count + 1, 0);  // Degrees first.
+  std::vector<std::uint64_t> arcs;
+  std::uint64_t duplicates_removed = 0;
+  std::uint64_t edge_count = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    ChunkSpill& s = spills[c];
+    const auto arc_count = static_cast<std::size_t>(s.bytes / kArcBytes);
+    // Exact-fit reallocation: resize()'s geometric growth could
+    // overshoot the chunk capacity the partition guaranteed.
+    if (arcs.capacity() < arc_count) {
+      arcs = std::vector<std::uint64_t>();
+      arcs.reserve(arc_count);
+    }
+    arcs.resize(arc_count);
+    if (arc_count > 0) {
+      std::FILE* in = std::fopen(s.path.c_str(), "rb");
+      const bool read_ok =
+          in != nullptr &&
+          std::fread(arcs.data(), kArcBytes, arc_count, in) == arc_count;
+      if (in != nullptr) std::fclose(in);
+      if (!read_ok) {
+        if (error) *error = "cannot read spill file '" + s.path + "'";
+        return false;
+      }
+    }
+    std::remove(s.path.c_str());
+    s.path.clear();
+    rep->peak_resident_bytes =
+        std::max(rep->peak_resident_bytes,
+                 arcs.capacity() * kArcBytes + copy_buffer_bytes);
+
+    // Chunks are contiguous source ranges and packed arcs sort
+    // source-major, so per-chunk sorted runs concatenate into the same
+    // global order the in-memory builder produces.
+    std::sort(arcs.begin(), arcs.end());
+    const auto unique_end = std::unique(arcs.begin(), arcs.end());
+    duplicates_removed += static_cast<std::uint64_t>(arcs.end() - unique_end);
+    edge_count += static_cast<std::uint64_t>(unique_end - arcs.begin());
+    for (auto it = arcs.begin(); it != unique_end; ++it) {
+      ++offsets[(*it >> 32) + 1];
+      part_buffer.push_back(static_cast<VertexId>(*it));
+      if (part_buffer.size() * sizeof(VertexId) >= copy_buffer_bytes &&
+          !flush_part()) {
+        if (error) *error = "part write failed for '" + part_path + "'";
+        return false;
+      }
+    }
+  }
+  const bool part_flushed = flush_part();
+  const bool part_closed = std::fclose(part) == 0;
+  part = nullptr;
+  if (!part_flushed || !part_closed) {
+    if (error) *error = "part write failed for '" + part_path + "'";
+    return false;
+  }
+  arcs = std::vector<std::uint64_t>();
+  part_buffer = std::vector<VertexId>();
+  // Mirror arcs duplicate in lockstep with their canonical arcs, so the
+  // undirected count halves back to the in-memory definition.
+  rep->stats.duplicate_edges =
+      directed ? duplicates_removed : duplicates_removed / 2;
+  for (std::uint64_t v = 0; v < vertex_count; ++v) {
+    offsets[v + 1] += offsets[v];
+  }
+
+  // ---- Assemble the cache file, byte-identical to SaveCsrCache. ----
+  CsrCacheHeader header;
+  header.flags = directed ? kCsrCacheDirectedFlag : 0;
+  header.edge_elem_bytes = 8;  // A freshly parsed Csr's default.
+  header.vertex_count = vertex_count;
+  header.edge_count = edge_count;
+  header.source_signature = source_signature;
+  header.name_length = static_cast<std::uint32_t>(name.size());
+  std::string padded_name = name;
+  padded_name.resize(CsrCachePaddedNameLength(padded_name.size()), '\0');
+  std::uint64_t checksum = Fnv1a64(padded_name.data(), padded_name.size(),
+                                   CsrCacheHeaderBasis(header));
+  checksum =
+      Fnv1a64(offsets.data(), offsets.size() * sizeof(EdgeIndex), checksum);
+  // FNV chaining is order-dependent and the checksum lives in the
+  // header, so the part file is streamed twice: once to finish the
+  // checksum, once to copy the bytes after the header is written.
+  std::vector<unsigned char> copy_buffer(copy_buffer_bytes);
+  {
+    std::FILE* in = std::fopen(part_path.c_str(), "rb");
+    if (in == nullptr) {
+      if (error) *error = "cannot read part file '" + part_path + "'";
+      return false;
+    }
+    std::size_t n = 0;
+    while ((n = std::fread(copy_buffer.data(), 1, copy_buffer.size(), in)) >
+           0) {
+      checksum = Fnv1a64(copy_buffer.data(), n, checksum);
+    }
+    const bool read_ok = std::ferror(in) == 0;
+    std::fclose(in);
+    if (!read_ok) {
+      if (error) *error = "cannot read part file '" + part_path + "'";
+      return false;
+    }
+  }
+  header.payload_checksum = checksum;
+
+  const std::string tmp_path = cache_path + ".emtmp." + pid_suffix;
+  ScopeGuard tmp_cleanup([&tmp_path] { std::remove(tmp_path.c_str()); });
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    if (error) *error = "cannot create '" + tmp_path + "'";
+    return false;
+  }
+  bool wrote =
+      std::fwrite(&header, sizeof(header), 1, out) == 1 &&
+      (padded_name.empty() ||
+       std::fwrite(padded_name.data(), padded_name.size(), 1, out) == 1) &&
+      std::fwrite(offsets.data(), sizeof(EdgeIndex), offsets.size(), out) ==
+          offsets.size();
+  if (wrote) {
+    std::FILE* in = std::fopen(part_path.c_str(), "rb");
+    if (in == nullptr) {
+      wrote = false;
+    } else {
+      std::size_t n = 0;
+      while ((n = std::fread(copy_buffer.data(), 1, copy_buffer.size(), in)) >
+             0) {
+        if (std::fwrite(copy_buffer.data(), 1, n, out) != n) {
+          wrote = false;
+          break;
+        }
+      }
+      if (std::ferror(in) != 0) wrote = false;
+      std::fclose(in);
+    }
+  }
+  const bool flushed = std::fclose(out) == 0;
+  if (!wrote || !flushed) {
+    if (error) *error = "write failed for '" + tmp_path + "'";
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), cache_path.c_str()) != 0) {
+    if (error) *error = "rename to '" + cache_path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace emogi::io

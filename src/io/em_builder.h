@@ -1,0 +1,75 @@
+// External-memory CSR cache construction: builds the binary CSR cache
+// (io/csr_cache.h) for an edge container of any size while keeping at
+// most EMOGI_MEMORY_BUDGET bytes of *edge data* resident. The output
+// file is byte-identical to what the in-memory path (ParseEdgeListFile
+// + SaveCsrCache) produces for the same container -- ctest gates this.
+//
+// Three passes over bounded memory:
+//
+//   1. Stream the container once, counting provisional arcs per source
+//      vertex (undirected inputs count both endpoints, i.e. mirrored at
+//      stream time). The counts over-estimate final degrees by exactly
+//      the not-yet-known duplicates, which is fine: they are only used
+//      as upper bounds to partition vertices into contiguous chunks
+//      whose arc bytes fit half the budget.
+//   2. Stream the container again, spilling each arc -- packed
+//      (src << 32) | dst, mirror arcs emitted here for undirected
+//      graphs -- to its chunk's spill file through bounded per-chunk
+//      write buffers (the other half of the budget).
+//   3. Load each chunk in turn (at most budget/2 resident), sort,
+//      deduplicate, count final degrees, and append the neighbor ids to
+//      a part file. Chunks are contiguous source ranges and packed arcs
+//      sort source-major, so the concatenation is globally sorted --
+//      identical to the in-memory sort. The header checksum is then
+//      chained over the part file and the whole cache is assembled via
+//      temp file + atomic rename, exactly like SaveCsrCache.
+//
+// Budget accounting covers edge data only: arc spill buffers, the
+// resident chunk, and the part-file copy buffers. O(V) bookkeeping
+// (degree counts, the offsets array, the chunk map) plus stream/
+// decompressor state are exempt -- they are the same footprint the
+// fully in-memory path needs for its result and are documented as such
+// in the README. One open spill file per chunk is held during pass 2,
+// so pathological budget/input ratios are bounded by the fd limit
+// before anything else.
+
+#ifndef EMOGI_IO_EM_BUILDER_H_
+#define EMOGI_IO_EM_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/edge_list.h"
+
+namespace emogi::io {
+
+// What a chunked build did, for the ingest_throughput experiment and
+// for tests gating peak residency against the budget.
+struct EmBuildReport {
+  std::uint64_t edges_streamed = 0;       // Accepted arcs per pass
+                                          // (pre-dedup, pre-mirror).
+  std::uint64_t chunks = 0;               // Source-range chunks used.
+  std::uint64_t peak_resident_bytes = 0;  // Max edge-data bytes held at
+                                          // once; always <= budget.
+  std::uint64_t spill_bytes = 0;          // Total bytes spilled to disk.
+  EdgeListStats stats;                    // Full container stats,
+                                          // including duplicate_edges.
+};
+
+// Builds the CSR cache for `container_path` (text, ".gz", or ".bin" --
+// same resolution as ParseEdgeListFile) at `cache_path`, holding at
+// most `memory_budget` bytes of edge data resident. Returns false with
+// `error` when the container is malformed, a spill/part/cache write
+// fails, or the budget cannot hold even a single vertex's arcs (the
+// error says what budget would). Temp files are cleaned up on failure;
+// the cache file appears atomically on success.
+bool BuildCsrCacheExternal(const std::string& container_path, bool directed,
+                           const std::string& name,
+                           const std::string& cache_path,
+                           std::uint64_t source_signature,
+                           std::uint64_t memory_budget, EmBuildReport* report,
+                           std::string* error);
+
+}  // namespace emogi::io
+
+#endif  // EMOGI_IO_EM_BUILDER_H_

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "io/csr_cache.h"
+#include "io/paged_csr.h"
 
 namespace emogi::io {
 namespace {
@@ -49,14 +50,14 @@ bool EnsureDirectory(const std::string& path, std::string* error) {
 
 IngestStatus LoadRealDataset(const std::string& symbol, bool directed,
                              const std::string& data_dir,
-                             const std::string& cache_dir, graph::Csr* out,
+                             const IngestOptions& options, graph::Csr* out,
                              IngestReport* report, std::string* error) {
   IngestReport local_report;
   IngestReport* rep = report ? report : &local_report;
   *rep = IngestReport();
 
   std::uint64_t source_size = 0;
-  for (const char* extension : {".el", ".txt"}) {
+  for (const char* extension : {".el", ".txt", ".el.gz", ".txt.gz", ".bin"}) {
     const std::string candidate = data_dir + "/" + symbol + extension;
     if (FileSize(candidate, &source_size)) {
       rep->edge_list_path = candidate;
@@ -66,46 +67,122 @@ IngestStatus LoadRealDataset(const std::string& symbol, bool directed,
   if (rep->edge_list_path.empty()) return IngestStatus::kNotFound;
 
   const std::string resolved_cache_dir =
-      cache_dir.empty() ? data_dir + "/emogi-cache" : cache_dir;
+      options.cache_dir.empty() ? data_dir + "/emogi-cache"
+                                : options.cache_dir;
   rep->cache_path = resolved_cache_dir + "/" + symbol + ".csr";
   const std::uint64_t signature = SourceSignature(source_size);
+  // With a budget or paged serving the cache file IS the product, so
+  // problems the classic path shrugs off become fatal.
+  const bool cache_is_product = options.memory_budget > 0 || options.paged;
 
-  std::string cache_error;
-  const CacheLoadResult cached =
-      LoadCsrCache(rep->cache_path, signature, out, &cache_error);
-  if (cached == CacheLoadResult::kLoaded) {
-    rep->from_cache = true;
+  // Serve from a valid existing cache first.
+  if (options.paged) {
+    MappedCsrView view;
+    std::string cache_error;
+    if (OpenPagedCsr(rep->cache_path, signature, &view, &cache_error)) {
+      *out = view.csr();
+      rep->from_cache = true;
+      rep->paged = true;
+      return IngestStatus::kLoaded;
+    }
+    std::uint64_t existing = 0;
+    if (FileSize(rep->cache_path, &existing)) {
+      std::fprintf(stderr, "warning: discarding CSR cache: %s (re-ingesting)\n",
+                   cache_error.c_str());
+    }
+  } else {
+    std::string cache_error;
+    const CacheLoadResult cached =
+        LoadCsrCache(rep->cache_path, signature, out, &cache_error);
+    if (cached == CacheLoadResult::kLoaded) {
+      rep->from_cache = true;
+      return IngestStatus::kLoaded;
+    }
+    if (cached == CacheLoadResult::kInvalid) {
+      std::fprintf(stderr, "warning: discarding CSR cache: %s (re-ingesting)\n",
+                   cache_error.c_str());
+    }
+  }
+
+  std::string dir_error;
+  const bool cache_dir_ok = EnsureDirectory(resolved_cache_dir, &dir_error);
+  if (!cache_dir_ok && cache_is_product) {
+    if (error) *error = dir_error;
+    return IngestStatus::kFailed;
+  }
+
+  if (options.memory_budget > 0) {
+    // Chunked external-memory build straight into the cache file.
+    std::string build_error;
+    if (!BuildCsrCacheExternal(rep->edge_list_path, directed, symbol,
+                               rep->cache_path, signature,
+                               options.memory_budget, &rep->em,
+                               &build_error)) {
+      if (error) *error = build_error;
+      return IngestStatus::kFailed;
+    }
+    rep->stats = rep->em.stats;
+  } else {
+    std::string parse_error;
+    if (!ParseEdgeListFile(rep->edge_list_path, directed, symbol, out,
+                           &rep->stats, &parse_error)) {
+      if (error) *error = parse_error;
+      return IngestStatus::kFailed;
+    }
+    std::string validate_error;
+    if (!out->Validate(&validate_error)) {
+      if (error) {
+        *error = rep->edge_list_path + ": ingested CSR failed validation: " +
+                 validate_error;
+      }
+      return IngestStatus::kFailed;
+    }
+    std::string save_error;
+    if (!cache_dir_ok ||
+        !SaveCsrCache(*out, rep->cache_path, signature, &save_error)) {
+      if (!cache_dir_ok) save_error = dir_error;
+      if (cache_is_product) {
+        if (error) *error = save_error;
+        return IngestStatus::kFailed;
+      }
+      std::fprintf(stderr,
+                   "warning: could not write CSR cache for %s: %s "
+                   "(continuing without cache)\n",
+                   symbol.c_str(), save_error.c_str());
+    }
+    if (!options.paged) return IngestStatus::kLoaded;
+  }
+
+  // The cache file just written becomes the serving copy: an mmap-ed
+  // view when paged, a plain load after a budgeted build (whose whole
+  // point was never materializing the graph during construction).
+  std::string serve_error;
+  if (options.paged) {
+    MappedCsrView view;
+    if (!OpenPagedCsr(rep->cache_path, signature, &view, &serve_error)) {
+      if (error) *error = "freshly built cache: " + serve_error;
+      return IngestStatus::kFailed;
+    }
+    *out = view.csr();
+    rep->paged = true;
     return IngestStatus::kLoaded;
   }
-  if (cached == CacheLoadResult::kInvalid) {
-    std::fprintf(stderr, "warning: discarding CSR cache: %s (re-ingesting)\n",
-                 cache_error.c_str());
-  }
-
-  std::string parse_error;
-  if (!ParseEdgeListFile(rep->edge_list_path, directed, symbol, out,
-                         &rep->stats, &parse_error)) {
-    if (error) *error = parse_error;
+  if (LoadCsrCache(rep->cache_path, signature, out, &serve_error) !=
+      CacheLoadResult::kLoaded) {
+    if (error) *error = "freshly built cache: " + serve_error;
     return IngestStatus::kFailed;
-  }
-  std::string validate_error;
-  if (!out->Validate(&validate_error)) {
-    if (error) {
-      *error = rep->edge_list_path + ": ingested CSR failed validation: " +
-               validate_error;
-    }
-    return IngestStatus::kFailed;
-  }
-
-  std::string save_error;
-  if (!EnsureDirectory(resolved_cache_dir, &save_error) ||
-      !SaveCsrCache(*out, rep->cache_path, signature, &save_error)) {
-    std::fprintf(stderr,
-                 "warning: could not write CSR cache for %s: %s "
-                 "(continuing without cache)\n",
-                 symbol.c_str(), save_error.c_str());
   }
   return IngestStatus::kLoaded;
+}
+
+IngestStatus LoadRealDataset(const std::string& symbol, bool directed,
+                             const std::string& data_dir,
+                             const std::string& cache_dir, graph::Csr* out,
+                             IngestReport* report, std::string* error) {
+  IngestOptions options;
+  options.cache_dir = cache_dir;
+  return LoadRealDataset(symbol, directed, data_dir, options, out, report,
+                         error);
 }
 
 }  // namespace emogi::io

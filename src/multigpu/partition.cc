@@ -50,7 +50,7 @@ Partition MakePartition(const graph::Csr& csr, int devices,
   // degrees, so the cut for device d is the first vertex whose offset
   // reaches d/n of the edge list. Cuts are clamped monotone so a single
   // huge hub cannot make ranges overlap.
-  const std::vector<graph::EdgeIndex>& offsets = csr.offsets();
+  const graph::ConstSpan<graph::EdgeIndex> offsets = csr.offsets();
   for (int d = 1; d < n; ++d) {
     const graph::EdgeIndex target = csr.num_edges() / n * d;
     const auto it = std::lower_bound(offsets.begin(), offsets.end(), target);

@@ -39,7 +39,7 @@ JsonValue ParseOrDie(const std::string& text) {
 void TestRegistryHasAllExperiments() {
   const std::vector<const bench::Experiment*> all =
       bench::Registry::Instance().All();
-  CHECK(all.size() == 19);
+  CHECK(all.size() == 20);
 
   std::set<std::string> ids;
   for (const bench::Experiment* experiment : all) {
@@ -52,7 +52,8 @@ void TestRegistryHasAllExperiments() {
        {"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
         "fig11", "fig12", "fig13", "table2", "table3", "pcie_model_checks",
         "ablation_rtt", "ablation_worker_size", "ablation_compression",
-        "scan_throughput", "query_throughput", "serving_latency"}) {
+        "scan_throughput", "query_throughput", "serving_latency",
+        "ingest_throughput"}) {
     CHECK(ids.count(id) == 1);
     CHECK(bench::Registry::Instance().Find(id) != nullptr);
   }
@@ -60,6 +61,7 @@ void TestRegistryHasAllExperiments() {
   CHECK(bench::Registry::Instance().Find("scan_throughput")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("query_throughput")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("serving_latency")->has_selfcheck);
+  CHECK(bench::Registry::Instance().Find("ingest_throughput")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("no_such_experiment") == nullptr);
 }
 

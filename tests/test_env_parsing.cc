@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -95,6 +96,65 @@ void TestDataSourceParsing() {
   SetEnv("EMOGI_CACHE_DIR", nullptr);
 }
 
+void TestMemoryBudgetParsing() {
+  // A positive byte count, optional K/M/G suffix (powers of 1024).
+  SetEnv("EMOGI_MEMORY_BUDGET", "12345");
+  CHECK(bench::Options::FromEnv().data.memory_budget == 12345);
+  SetEnv("EMOGI_MEMORY_BUDGET", "64K");
+  CHECK(bench::Options::FromEnv().data.memory_budget == 64ull << 10);
+  SetEnv("EMOGI_MEMORY_BUDGET", "2m");
+  CHECK(bench::Options::FromEnv().data.memory_budget == 2ull << 20);
+  SetEnv("EMOGI_MEMORY_BUDGET", "3G");
+  CHECK(bench::Options::FromEnv().data.memory_budget == 3ull << 30);
+
+  // Garbage keeps the unbounded in-memory default (0).
+  const char* bad[] = {"",    "abc",  "-1",  "0",  "1.5G", " 4",
+                       "4KB", "999G1", "K", "18446744073709551615G"};
+  for (const char* value : bad) {
+    SetEnv("EMOGI_MEMORY_BUDGET", value);
+    CHECK(bench::Options::FromEnv().data.memory_budget == 0);
+  }
+  SetEnv("EMOGI_MEMORY_BUDGET", nullptr);
+  CHECK(bench::Options::FromEnv().data.memory_budget == 0);
+
+  // The ParseByteCount seam directly: suffix arithmetic and overflow.
+  std::uint64_t bytes = 0;
+  CHECK(graph::ParseByteCount("1", &bytes) && bytes == 1);
+  CHECK(graph::ParseByteCount("1023K", &bytes) && bytes == 1023ull << 10);
+  CHECK(!graph::ParseByteCount("17179869184G", &bytes));  // 2^64 bytes.
+}
+
+void TestPagedCsrParsing() {
+  // Strictly "0" or "1"; anything else warns and keeps resident serving.
+  SetEnv("EMOGI_PAGED_CSR", "1");
+  CHECK(bench::Options::FromEnv().data.paged);
+  SetEnv("EMOGI_PAGED_CSR", "0");
+  CHECK(!bench::Options::FromEnv().data.paged);
+  for (const char* value : {"", "yes", "true", "2", "01"}) {
+    SetEnv("EMOGI_PAGED_CSR", value);
+    CHECK(!bench::Options::FromEnv().data.paged);
+  }
+  SetEnv("EMOGI_PAGED_CSR", nullptr);
+  CHECK(!bench::Options::FromEnv().data.paged);
+}
+
+// The --memory-budget / --paged-csr flags run through the same
+// validation as the environment knobs: a bad value is rejected and the
+// previously resolved value kept.
+void TestBudgetFlagOverrides() {
+  bench::Options options;
+  CHECK(options.Set("memory-budget", "8M"));
+  CHECK(options.data.memory_budget == 8ull << 20);
+  CHECK(!options.Set("memory-budget", "lots"));
+  CHECK(options.data.memory_budget == 8ull << 20);
+  CHECK(options.Set("paged-csr", "1"));
+  CHECK(options.data.paged);
+  CHECK(!options.Set("paged-csr", "maybe"));
+  CHECK(options.data.paged);
+  CHECK(options.Set("paged-csr", "0"));
+  CHECK(!options.data.paged);
+}
+
 // The EMOGI_DATA_DIR rejection warning fires once per process per
 // distinct value: FromEnv() reparses on every env-overload dataset load,
 // and benches sweeping configs used to repeat the identical warning on
@@ -146,6 +206,9 @@ int main() {
   emogi::TestValidValues();
   emogi::TestGarbageKeepsDefaults();
   emogi::TestDataSourceParsing();
+  emogi::TestMemoryBudgetParsing();
+  emogi::TestPagedCsrParsing();
+  emogi::TestBudgetFlagOverrides();
   emogi::TestDataDirWarningOnce();
   std::printf("test_env_parsing: OK\n");
   return 0;

@@ -1,0 +1,370 @@
+// Out-of-core ingestion subsystem: gzip/binary container decoding and
+// its failure paths (truncated gzip, corrupt packed pairs), the
+// external-memory chunked CSR builder (byte-identity with the in-memory
+// builder across budgets, budget accounting, budget-too-small and
+// spill-failure errors), the mmap-paged CSR view (parity, corruption
+// rejection, heap fallback when mmap is unavailable), and the
+// IngestOptions routing that makes the cache file the product when a
+// budget or paged serving is requested.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "io/csr_cache.h"
+#include "io/edge_list.h"
+#include "io/em_builder.h"
+#include "io/ingest.h"
+#include "io/paged_csr.h"
+#include "io/stream.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+std::string g_dir;  // Fresh temp dir for the whole test binary.
+
+std::string Path(const std::string& leaf) { return g_dir + "/" + leaf; }
+
+std::vector<unsigned char> ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  CHECK(file != nullptr);
+  std::vector<unsigned char> bytes;
+  unsigned char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const void* data, std::size_t size) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  CHECK(file != nullptr);
+  CHECK(size == 0 || std::fwrite(data, 1, size, file) == size);
+  CHECK(std::fclose(file) == 0);
+}
+
+// A deterministic, deliberately messy edge list: duplicates, self-loops,
+// skewed degrees -- everything the ingestion semantics must canonicalize
+// the same way on every path.
+std::string MessyEdgeList(int lines, std::uint32_t vertices) {
+  std::string text = "# out-of-core fixture\n";
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  char line[32];
+  for (int i = 0; i < lines; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint32_t u = static_cast<std::uint32_t>(x % vertices);
+    // Skew: a quarter of the edges hit vertex 0's neighborhood, giving
+    // one heavy vertex for the budget-too-small test.
+    const std::uint32_t v =
+        (i % 4 == 0) ? 0 : static_cast<std::uint32_t>((x >> 32) % vertices);
+    std::snprintf(line, sizeof(line), "%u %u\n", u, v);
+    text += line;
+    if (i % 97 == 0) text += line;  // Exact duplicate lines.
+  }
+  return text;
+}
+
+graph::Csr ParseText(const std::string& text, bool directed) {
+  graph::Csr csr;
+  std::string error;
+  CHECK(io::ParseEdgeListText(text.data(), text.size(), directed, "ooc", &csr,
+                              nullptr, &error));
+  return csr;
+}
+
+void TestGzipContainerFailurePaths() {
+  if (!io::GzipSupported()) {
+    std::printf("test_out_of_core: zlib absent, skipping gzip cases\n");
+    return;
+  }
+  const std::string text = MessyEdgeList(400, 61);
+  const graph::Csr base = ParseText(text, /*directed=*/false);
+
+  const std::string gz_path = Path("ooc.el.gz");
+  std::string error;
+  CHECK(io::WriteGzipFile(gz_path, text.data(), text.size(), &error));
+
+  graph::Csr parsed;
+  CHECK(io::ParseEdgeListFile(gz_path, false, "ooc", &parsed, nullptr,
+                              &error));
+  CHECK(parsed.offsets() == base.offsets());
+  CHECK(parsed.neighbors() == base.neighbors());
+
+  // Truncated gzip: the stream ends before the compressed data does.
+  // That must be a loud error, never a silently shorter graph.
+  std::vector<unsigned char> gz_bytes = ReadAll(gz_path);
+  CHECK(gz_bytes.size() > 20);
+  const std::string trunc_path = Path("trunc.el.gz");
+  WriteAll(trunc_path, gz_bytes.data(), gz_bytes.size() - 12);
+  CHECK(!io::ParseEdgeListFile(trunc_path, false, "ooc", &parsed, nullptr,
+                               &error));
+  CHECK(error.find("truncated") != std::string::npos);
+
+  // Garbage wearing the gzip magic: decode error, not a crash.
+  const unsigned char junk[] = {0x1f, 0x8b, 0xde, 0xad, 0xbe, 0xef, 0x00};
+  const std::string junk_path = Path("junk.el.gz");
+  WriteAll(junk_path, junk, sizeof(junk));
+  CHECK(!io::ParseEdgeListFile(junk_path, false, "ooc", &parsed, nullptr,
+                               &error));
+  CHECK(!error.empty());
+}
+
+void TestBinContainerFailurePaths() {
+  const std::string text = MessyEdgeList(400, 61);
+  const graph::Csr base = ParseText(text, /*directed=*/false);
+  const std::string bin_path = Path("ooc.bin");
+  std::string error;
+  CHECK(io::WriteEdgeBin(base, bin_path, &error));
+
+  graph::Csr parsed;
+  CHECK(io::ParseEdgeListFile(bin_path, false, "ooc", &parsed, nullptr,
+                              &error));
+  CHECK(parsed.offsets() == base.offsets());
+  CHECK(parsed.neighbors() == base.neighbors());
+
+  std::vector<unsigned char> bytes = ReadAll(bin_path);
+
+  // Wrong magic.
+  std::vector<unsigned char> bad = bytes;
+  bad[0] ^= 0xFF;
+  const std::string bad_path = Path("bad.bin");
+  WriteAll(bad_path, bad.data(), bad.size());
+  CHECK(!io::ParseEdgeListFile(bad_path, false, "ooc", &parsed, nullptr,
+                               &error));
+  CHECK(!error.empty());
+
+  // Truncated mid-pair: the header promises more pairs than the file
+  // holds.
+  WriteAll(bad_path, bytes.data(), bytes.size() - 5);
+  CHECK(!io::ParseEdgeListFile(bad_path, false, "ooc", &parsed, nullptr,
+                               &error));
+  CHECK(!error.empty());
+
+  // A file shorter than the header.
+  WriteAll(bad_path, bytes.data(), 10);
+  CHECK(!io::ParseEdgeListFile(bad_path, false, "ooc", &parsed, nullptr,
+                               &error));
+  CHECK(!error.empty());
+}
+
+void TestChunkedBuildByteIdentity() {
+  for (const bool directed : {false, true}) {
+    const std::string text = MessyEdgeList(3000, 97);
+    const std::string text_path =
+        Path(directed ? "em_d.el" : "em_u.el");
+    WriteAll(text_path, text.data(), text.size());
+
+    // In-memory reference cache.
+    graph::Csr parsed;
+    std::string error;
+    CHECK(io::ParseEdgeListFile(text_path, directed, "ooc", &parsed, nullptr,
+                                &error));
+    const std::string mem_path = Path("em_mem.csr");
+    CHECK(io::SaveCsrCache(parsed, mem_path, 99, &error));
+    const std::vector<unsigned char> mem_bytes = ReadAll(mem_path);
+
+    // The chunked builder must reproduce it byte by byte at every
+    // budget: single-chunk (huge), two-ish chunks, and many small
+    // chunks. Chunking keys off *provisional* pre-dedup arc counts, and
+    // the skew parks ~800 raw arcs on vertex 0 (~6.4 KB), so 16 KB is
+    // the smallest budget whose half-size chunks still fit it.
+    const std::uint64_t budgets[] = {1ull << 30, 64ull << 10, 16ull << 10};
+    bool saw_multi_chunk = false;
+    for (const std::uint64_t budget : budgets) {
+      const std::string em_path = Path("em_chunked.csr");
+      io::EmBuildReport report;
+      CHECK(io::BuildCsrCacheExternal(text_path, directed, "ooc", em_path, 99,
+                                      budget, &report, &error));
+      CHECK(ReadAll(em_path) == mem_bytes);
+      CHECK(report.peak_resident_bytes <= budget);
+      CHECK(report.chunks >= 1);
+      if (report.chunks > 1) {
+        saw_multi_chunk = true;
+        CHECK(report.spill_bytes > 0);
+      }
+      std::remove(em_path.c_str());
+    }
+    CHECK(saw_multi_chunk);
+    std::remove(mem_path.c_str());
+  }
+}
+
+void TestBudgetTooSmall() {
+  const std::string text = MessyEdgeList(2000, 97);
+  const std::string text_path = Path("small.el");
+  WriteAll(text_path, text.data(), text.size());
+
+  io::EmBuildReport report;
+  std::string error;
+  // Below the absolute floor.
+  CHECK(!io::BuildCsrCacheExternal(text_path, false, "ooc",
+                                   Path("small.csr"), 1, 8, &report, &error));
+  CHECK(!error.empty());
+  // Above the floor but smaller than the heaviest vertex's arc bytes:
+  // the error names the vertex and the minimum workable budget.
+  error.clear();
+  CHECK(!io::BuildCsrCacheExternal(text_path, false, "ooc",
+                                   Path("small.csr"), 1, 64, &report,
+                                   &error));
+  CHECK(error.find("smaller than one chunk") != std::string::npos);
+  CHECK(error.find("EMOGI_MEMORY_BUDGET") != std::string::npos);
+}
+
+void TestSpillWriteFailure() {
+  const std::string text = MessyEdgeList(2000, 97);
+  const std::string text_path = Path("spill.el");
+  WriteAll(text_path, text.data(), text.size());
+
+  // Route the cache (and so the spill files next to it) through a path
+  // component that is a regular file: every open fails with ENOTDIR,
+  // regardless of privileges (chmod-based denial is a no-op as root).
+  const std::string blocker = Path("blocker");
+  WriteAll(blocker, "x", 1);
+  io::EmBuildReport report;
+  std::string error;
+  CHECK(!io::BuildCsrCacheExternal(text_path, false, "ooc",
+                                   blocker + "/ooc.csr", 1, 4096, &report,
+                                   &error));
+  CHECK(!error.empty());
+}
+
+void TestPagedCsrView() {
+  const std::string text = MessyEdgeList(1500, 83);
+  const graph::Csr base = ParseText(text, /*directed=*/false);
+  const std::string cache_path = Path("paged.csr");
+  std::string error;
+  CHECK(io::SaveCsrCache(base, cache_path, 7, &error));
+
+  io::MappedCsrView view;
+  CHECK(io::OpenPagedCsr(cache_path, 7, &view, &error));
+  CHECK(view.csr().is_view());
+  CHECK(view.csr().offsets() == base.offsets());
+  CHECK(view.csr().neighbors() == base.neighbors());
+  CHECK(view.csr().directed() == base.directed());
+  CHECK(view.csr().name() == base.name());
+  const io::PagedCsrStats stats = view.Residency();
+  CHECK(stats.file_bytes > 0);
+  CHECK(stats.total_pages > 0);
+  CHECK(stats.resident_pages <= stats.total_pages);
+
+  // A copy of the view shares the mapping and stays valid after the
+  // original is torn down (the backing is refcounted).
+  graph::Csr copy = view.csr();
+  {
+    io::MappedCsrView scoped;
+    CHECK(io::OpenPagedCsr(cache_path, 7, &scoped, &error));
+    copy = scoped.csr();
+  }
+  CHECK(copy.offsets() == base.offsets());
+
+  // Signature mismatch and corruption are refused, same as LoadCsrCache.
+  io::MappedCsrView stale;
+  CHECK(!io::OpenPagedCsr(cache_path, 8, &stale, &error));
+  CHECK(error.find("stale") != std::string::npos);
+  std::vector<unsigned char> bytes = ReadAll(cache_path);
+  bytes[bytes.size() - 2] ^= 0x10;
+  const std::string corrupt_path = Path("paged_corrupt.csr");
+  WriteAll(corrupt_path, bytes.data(), bytes.size());
+  CHECK(!io::OpenPagedCsr(corrupt_path, 0, &stale, &error));
+  CHECK(error.find("checksum") != std::string::npos);
+  CHECK(!io::OpenPagedCsr(Path("absent.csr"), 0, &stale, &error));
+
+  // Heap fallback: with mmap disabled the view must still serve the
+  // identical arrays, reporting itself unmapped (and fully resident).
+  io::SetMmapEnabledForTesting(false);
+  io::MappedCsrView heap_view;
+  CHECK(io::OpenPagedCsr(cache_path, 7, &heap_view, &error));
+  CHECK(heap_view.csr().offsets() == base.offsets());
+  CHECK(heap_view.csr().neighbors() == base.neighbors());
+  const io::PagedCsrStats heap_stats = heap_view.Residency();
+  CHECK(!heap_stats.mapped);
+  CHECK(heap_stats.resident_pages == heap_stats.total_pages);
+  io::SetMmapEnabledForTesting(true);
+}
+
+void TestIngestOptionsRouting() {
+  const std::string data_dir = Path("data");
+  std::string error;
+  CHECK(io::EnsureDirectory(data_dir, &error));
+  const std::string text = MessyEdgeList(2500, 89);
+  WriteAll(data_dir + "/GU.el", text.data(), text.size());
+
+  // Budgeted ingest routes through the chunked builder and still loads
+  // the same graph the unbudgeted path does.
+  io::IngestOptions budgeted;
+  budgeted.cache_dir = Path("cache_budgeted");
+  budgeted.memory_budget = 16384;
+  graph::Csr chunked;
+  io::IngestReport report;
+  CHECK(io::LoadRealDataset("GU", false, data_dir, budgeted, &chunked,
+                            &report, &error) == io::IngestStatus::kLoaded);
+  CHECK(report.em.chunks > 1);
+  CHECK(!report.paged);
+  CHECK(!chunked.is_view());
+
+  io::IngestOptions plain;
+  plain.cache_dir = Path("cache_plain");
+  graph::Csr resident;
+  CHECK(io::LoadRealDataset("GU", false, data_dir, plain, &resident, &report,
+                            &error) == io::IngestStatus::kLoaded);
+  CHECK(resident.offsets() == chunked.offsets());
+  CHECK(resident.neighbors() == chunked.neighbors());
+
+  // Paged serving returns a view over the cache file.
+  io::IngestOptions paged = plain;
+  paged.paged = true;
+  graph::Csr view;
+  CHECK(io::LoadRealDataset("GU", false, data_dir, paged, &view, &report,
+                            &error) == io::IngestStatus::kLoaded);
+  CHECK(report.paged);
+  CHECK(view.is_view());
+  CHECK(view.offsets() == resident.offsets());
+  CHECK(view.neighbors() == resident.neighbors());
+
+  // When the cache is the product (budgeted or paged), an unusable
+  // cache dir is fatal; the classic resident path only warns.
+  const std::string blocker = Path("cache_blocker");
+  WriteAll(blocker, "x", 1);
+  io::IngestOptions broken = budgeted;
+  broken.cache_dir = blocker + "/nested";
+  CHECK(io::LoadRealDataset("GU", false, data_dir, broken, &chunked, &report,
+                            &error) == io::IngestStatus::kFailed);
+  CHECK(!error.empty());
+  io::IngestOptions broken_plain;
+  broken_plain.cache_dir = blocker + "/nested";
+  CHECK(io::LoadRealDataset("GU", false, data_dir, broken_plain, &resident,
+                            &report, &error) == io::IngestStatus::kLoaded);
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  char dir_template[] = "/tmp/emogi_out_of_core_XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  emogi::g_dir = dir;
+  emogi::TestGzipContainerFailurePaths();
+  emogi::TestBinContainerFailurePaths();
+  emogi::TestChunkedBuildByteIdentity();
+  emogi::TestBudgetTooSmall();
+  emogi::TestSpillWriteFailure();
+  emogi::TestPagedCsrView();
+  emogi::TestIngestOptionsRouting();
+  std::printf("test_out_of_core: OK\n");
+  return 0;
+}

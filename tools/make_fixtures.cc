@@ -13,11 +13,23 @@
 //   * re-serializing the cached CSR is byte-identical to the cache file
 //     written at ingest time.
 //
-// Usage: make_fixtures [--check] <out_dir> [symbol...]
+// Usage: make_fixtures [--check] [--scale N] [--containers] <out_dir>
+//                      [symbol...]
+//
+// --scale overrides the fixture scale divisor (default 262144; smaller
+// N = bigger fixtures -- CI's low-memory-budget ingestion leg uses 8192
+// for multi-megabyte edge sets). --containers additionally emits each
+// fixture as a packed binary container (bin/<symbol>.bin) and, when
+// zlib is available, gzip text (gz/<symbol>.el.gz); --check then
+// ingests every variant and requires the resulting CSR caches to be
+// byte-identical across container formats (re-serialized under one
+// signature, since the stored source signature legitimately tracks each
+// container's file size).
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,7 +37,9 @@
 #include "graph/csr.h"
 #include "graph/datasets.h"
 #include "io/csr_cache.h"
+#include "io/edge_list.h"
 #include "io/ingest.h"
+#include "io/stream.h"
 
 namespace emogi {
 namespace {
@@ -35,12 +49,13 @@ namespace {
 // a few hundred KB) while preserving each graph's degree shape.
 constexpr std::uint64_t kFixtureScale = 262144;
 
-bool WriteFixture(const std::string& out_dir, const std::string& symbol) {
+bool WriteFixture(const std::string& out_dir, const std::string& symbol,
+                  std::uint64_t scale) {
   const graph::DatasetInfo& info = graph::GetDatasetInfo(symbol);
   // Explicit empty DataSource: fixtures always come from the generator,
   // even when EMOGI_DATA_DIR is set in the calling environment.
   const graph::Csr& csr =
-      graph::LoadOrGenerateDataset(symbol, kFixtureScale, graph::DataSource());
+      graph::LoadOrGenerateDataset(symbol, scale, graph::DataSource());
 
   const std::string path = out_dir + "/" + symbol + ".el";
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -53,7 +68,7 @@ bool WriteFixture(const std::string& out_dir, const std::string& symbol) {
   // self-loops, which ingestion must drop.
   std::fprintf(file, "# EMOGI fixture: %s (%s analog, scale 1/%llu)\n",
                symbol.c_str(), info.full_name.c_str(),
-               static_cast<unsigned long long>(kFixtureScale));
+               static_cast<unsigned long long>(scale));
   std::fprintf(file, "%% vertices: %u  arcs: %llu  %s\n", csr.num_vertices(),
                static_cast<unsigned long long>(csr.num_edges()),
                info.directed ? "directed" : "undirected");
@@ -75,6 +90,50 @@ bool WriteFixture(const std::string& out_dir, const std::string& symbol) {
   std::printf("make_fixtures: wrote %s (V=%u, %llu arcs)\n", path.c_str(),
               csr.num_vertices(),
               static_cast<unsigned long long>(csr.num_edges()));
+  return true;
+}
+
+// Emits the container variants of an already-written `<symbol>.el`:
+// the packed binary pair container under bin/ and (when zlib is in the
+// build) the same text gzip-compressed under gz/. Each lives in its own
+// subdirectory so ingestion's extension search order cannot shadow it.
+bool WriteContainerVariants(const std::string& out_dir,
+                            const std::string& symbol, bool directed) {
+  auto fail = [&symbol](const std::string& what) {
+    std::fprintf(stderr, "make_fixtures: %s: %s\n", symbol.c_str(),
+                 what.c_str());
+    return false;
+  };
+  const std::string text_path = out_dir + "/" + symbol + ".el";
+  graph::Csr parsed;
+  std::string error;
+  if (!io::ParseEdgeListFile(text_path, directed, symbol, &parsed, nullptr,
+                             &error)) {
+    return fail("cannot re-parse fixture: " + error);
+  }
+  if (!io::EnsureDirectory(out_dir + "/bin", &error)) return fail(error);
+  const std::string bin_path = out_dir + "/bin/" + symbol + ".bin";
+  if (!io::WriteEdgeBin(parsed, bin_path, &error)) return fail(error);
+  std::printf("make_fixtures: wrote %s\n", bin_path.c_str());
+
+  if (!io::GzipSupported()) return true;
+  std::FILE* text = std::fopen(text_path.c_str(), "rb");
+  if (text == nullptr) return fail("fixture vanished");
+  std::string bytes;
+  char buffer[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), text)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_ok = std::ferror(text) == 0;
+  std::fclose(text);
+  if (!read_ok) return fail("cannot re-read fixture");
+  if (!io::EnsureDirectory(out_dir + "/gz", &error)) return fail(error);
+  const std::string gz_path = out_dir + "/gz/" + symbol + ".el.gz";
+  if (!io::WriteGzipFile(gz_path, bytes.data(), bytes.size(), &error)) {
+    return fail(error);
+  }
+  std::printf("make_fixtures: wrote %s\n", gz_path.c_str());
   return true;
 }
 
@@ -189,20 +248,114 @@ bool CheckFixture(const std::string& out_dir, const std::string& symbol) {
   return true;
 }
 
+// Cross-container gate: ingesting the bin/ (and gz/) variant of a
+// fixture must yield the same graph as the text ingest, and the CSR
+// caches must be byte-identical once re-serialized under one signature
+// (the stored signatures legitimately track each container's size).
+bool CheckContainerVariants(const std::string& out_dir,
+                            const std::string& symbol) {
+  const graph::DatasetInfo& info = graph::GetDatasetInfo(symbol);
+  auto fail = [&symbol](const std::string& what) {
+    std::fprintf(stderr, "make_fixtures --check: %s: %s\n", symbol.c_str(),
+                 what.c_str());
+    return false;
+  };
+
+  graph::Csr text_csr;
+  std::string error;
+  if (io::LoadRealDataset(symbol, info.directed, out_dir,
+                          out_dir + "/emogi-cache", &text_csr, nullptr,
+                          &error) != io::IngestStatus::kLoaded) {
+    return fail("text ingest failed: " + error);
+  }
+  const std::string replay_a = out_dir + "/emogi-cache/" + symbol + ".xc.a";
+  if (!io::SaveCsrCache(text_csr, replay_a, 1, &error)) {
+    return fail("replay save failed: " + error);
+  }
+
+  std::vector<std::string> variant_dirs = {out_dir + "/bin"};
+  if (io::GzipSupported()) variant_dirs.push_back(out_dir + "/gz");
+  bool ok = true;
+  for (const std::string& dir : variant_dirs) {
+    graph::Csr variant;
+    io::IngestReport report;
+    if (io::LoadRealDataset(symbol, info.directed, dir, dir + "/emogi-cache",
+                            &variant, &report, &error) !=
+        io::IngestStatus::kLoaded) {
+      ok = fail("variant ingest failed under " + dir + ": " + error);
+      break;
+    }
+    if (variant.offsets() != text_csr.offsets() ||
+        variant.neighbors() != text_csr.neighbors()) {
+      ok = fail("container variant under " + dir +
+                " ingested a different graph");
+      break;
+    }
+    const std::string replay_b = dir + "/emogi-cache/" + symbol + ".xc.b";
+    if (!io::SaveCsrCache(variant, replay_b, 1, &error)) {
+      ok = fail("variant replay save failed: " + error);
+      break;
+    }
+    std::FILE* a = std::fopen(replay_a.c_str(), "rb");
+    std::FILE* b = std::fopen(replay_b.c_str(), "rb");
+    bool identical = a != nullptr && b != nullptr;
+    while (identical) {
+      char buf_a[4096];
+      char buf_b[4096];
+      const std::size_t na = std::fread(buf_a, 1, sizeof(buf_a), a);
+      const std::size_t nb = std::fread(buf_b, 1, sizeof(buf_b), b);
+      identical = (na == nb) && std::memcmp(buf_a, buf_b, na) == 0;
+      if (na == 0) break;
+    }
+    if (a != nullptr) std::fclose(a);
+    if (b != nullptr) std::fclose(b);
+    std::remove(replay_b.c_str());
+    if (!identical) {
+      ok = fail("cache from " + dir + " is not byte-identical to the text "
+                "container's");
+      break;
+    }
+    std::printf("make_fixtures: %s %s cache byte-identical to text\n",
+                symbol.c_str(),
+                dir.substr(dir.rfind('/') + 1).c_str());
+  }
+  std::remove(replay_a.c_str());
+  return ok;
+}
+
 int Run(int argc, char** argv) {
   bool check = false;
+  bool containers = false;
+  std::uint64_t scale = kFixtureScale;
   std::vector<std::string> args;
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: make_fixtures [--check] [--scale N] [--containers] "
+                 "<out_dir> [symbol...]\n");
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--containers") == 0) {
+      containers = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "make_fixtures: --scale needs a value\n");
+        return usage();
+      }
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr, "make_fixtures: bad --scale '%s'\n", argv[i]);
+        return usage();
+      }
+      scale = parsed;
     } else {
       args.emplace_back(argv[i]);
     }
   }
-  if (args.empty()) {
-    std::fprintf(stderr, "usage: make_fixtures [--check] <out_dir> [symbol...]\n");
-    return 2;
-  }
+  if (args.empty()) return usage();
   const std::string out_dir = args.front();
   std::vector<std::string> symbols(args.begin() + 1, args.end());
   if (symbols.empty()) symbols = graph::AllDatasetSymbols();
@@ -213,11 +366,16 @@ int Run(int argc, char** argv) {
     return 1;
   }
   for (const std::string& symbol : symbols) {
-    if (!WriteFixture(out_dir, symbol)) return 1;
+    if (!WriteFixture(out_dir, symbol, scale)) return 1;
+    if (containers) {
+      const graph::DatasetInfo& info = graph::GetDatasetInfo(symbol);
+      if (!WriteContainerVariants(out_dir, symbol, info.directed)) return 1;
+    }
   }
   if (check) {
     for (const std::string& symbol : symbols) {
       if (!CheckFixture(out_dir, symbol)) return 1;
+      if (containers && !CheckContainerVariants(out_dir, symbol)) return 1;
     }
   }
   return 0;
