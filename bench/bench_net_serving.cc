@@ -1,0 +1,9 @@
+// Thin wrapper kept for scripts and ctest smoke targets; the experiment
+// lives in bench/experiments/net_serving.cc and the registry-driven
+// `emogi_bench run net_serving` is the primary entry point.
+
+#include "bench/driver.h"
+
+int main(int argc, char** argv) {
+  return emogi::bench::RunMain("net_serving", argc, argv);
+}

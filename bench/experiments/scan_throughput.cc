@@ -278,6 +278,11 @@ int Run(const RunContext& ctx, Report* report) {
       throughput_cells.push_back(FormatDouble(fast / 1e6, 1) + " Me/s");
       speedup_cells.push_back(FormatDouble(speedup) + "x");
     }
+    // The one deterministic metric in this experiment: the simulated
+    // edge count every mode's replay processes. It anchors the checked-in
+    // baseline (all edges/s rows are wall-clock and stripped from it).
+    report->Metric(app, "All", "edges_replayed",
+                   static_cast<double>(edges), "");
     report->Row(app + " static", throughput_cells, 20, 16);
     report->Row(app + " vs virtual", speedup_cells, 20, 16);
   };

@@ -140,6 +140,9 @@ bool OutcomesIdentical(const serve::ServeOutcome& a,
     const serve::ShardStats& y = b.shards[s];
     if (x.arrivals != y.arrivals || x.served != y.served ||
         x.rejected_overload != y.rejected_overload ||
+        x.rejected_overload_by_kind[0] != y.rejected_overload_by_kind[0] ||
+        x.rejected_overload_by_kind[1] != y.rejected_overload_by_kind[1] ||
+        x.rejected_overload_by_kind[2] != y.rejected_overload_by_kind[2] ||
         x.rejected_invalid != y.rejected_invalid ||
         x.dropped_deadline != y.dropped_deadline || x.waves != y.waves ||
         x.wave_lanes != y.wave_lanes || x.busy_ns != y.busy_ns ||
@@ -238,6 +241,27 @@ int Run(const RunContext& ctx, Report* report) {
       report->Metric(symbol, mode, "queries_per_sec", qps, "q/s");
       report->Metric(symbol, mode, "reject_rate", outcome.RejectRate(), "");
       report->Metric(symbol, mode, "reject_rate_overload", burst.RejectRate(),
+                     "");
+      // The burst's overload rejections broken out per request kind
+      // (same denominator as the aggregate, which stays for baseline
+      // compat): under a mixed stream the shed class is now visible.
+      const double burst_queries =
+          burst.queries.empty() ? 1.0
+                                : static_cast<double>(burst.queries.size());
+      report->Metric(symbol, mode, "reject_rate_overload_bfs",
+                     static_cast<double>(burst.RejectedOverloadOfKind(
+                         runtime::QueryKind::kBfs)) /
+                         burst_queries,
+                     "");
+      report->Metric(symbol, mode, "reject_rate_overload_sssp",
+                     static_cast<double>(burst.RejectedOverloadOfKind(
+                         runtime::QueryKind::kSssp)) /
+                         burst_queries,
+                     "");
+      report->Metric(symbol, mode, "reject_rate_overload_cc",
+                     static_cast<double>(burst.RejectedOverloadOfKind(
+                         runtime::QueryKind::kCc)) /
+                         burst_queries,
                      "");
       report->Metric(symbol, mode, "wave_occupancy_mean", occupancy, "");
       report->Metric(symbol, mode, "waves",

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end wire-protocol round trip: launch emogi_serve --listen on a
+# Unix socket, wait for the socket file (bound only after shards load,
+# so its existence is the readiness signal), replay a seeded trace
+# through emogi_client with --check (every answer compared against a
+# dedicated in-process QueryService run) and --require-ok, then
+# SIGINT-drain the server and require a clean exit 0.
+#
+# Usage: serve_roundtrip.sh <emogi_serve> <emogi_client> <scratch-dir>
+# Respects EMOGI_SCALE / EMOGI_SOURCES etc. via the tools' own env
+# handling.
+set -euo pipefail
+
+SERVE="$1"
+CLIENT="$2"
+DIR="$3"
+mkdir -p "$DIR"
+
+# The socket lives in a fresh mktemp dir: sockaddr_un paths are limited
+# to ~107 bytes and build trees (especially on CI) can exceed that.
+SOCK_DIR="$(mktemp -d)"
+SOCK="$SOCK_DIR/emogi.sock"
+SERVE_LOG="$DIR/serve.log"
+
+SERVE_PID=
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SOCK_DIR"
+}
+trap cleanup EXIT
+
+"$SERVE" --listen "$SOCK" --filter sym=GK >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 300); do
+  [ -S "$SOCK" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve_roundtrip: server exited before binding" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+  echo "serve_roundtrip: socket never appeared" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+
+# Zero parity diffs and zero non-ok responses, or the replay exits 1.
+"$CLIENT" --connect "$SOCK" --filter sym=GK --replay 32 --check --require-ok
+
+# Graceful drain: SIGINT must flush everything and exit 0.
+kill -INT "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "serve_roundtrip: server drain exited nonzero" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+SERVE_PID=
+
+echo "serve_roundtrip: OK"

@@ -87,6 +87,17 @@ awk -F, '$4 == "speedup_vs_virtual" && $5 > max { max = $5 }
          }' build/BENCH_scan_throughput.csv
 
 echo
+echo "=== regression gate: scan_throughput vs checked-in baseline ==="
+# The checked-in baseline keeps only the deterministic rows (per-app
+# simulated edges_replayed counts); every edges/s and speedup row is
+# wall-clock and was stripped when it was generated, so the compared
+# metrics must match exactly on any machine.
+./build/emogi_bench run scan_throughput --scale 4096 --sources 2 \
+  --format=json --out build/BENCH_scan_throughput_analogs.json
+./build/bench_compare bench/baselines/BENCH_scan_throughput.json \
+  build/BENCH_scan_throughput_analogs.json
+
+echo
 echo "=== query throughput: K-lane batched serving vs sequential ==="
 # --selfcheck gates parity: every batched query's levels/distances and
 # per-query visit counts must be byte-identical to a dedicated
@@ -187,6 +198,27 @@ rm -rf build/ooc-cache
   --format=json --out build/BENCH_fig09_paged.json
 ./build/bench_compare build/BENCH_fig09_resident.json \
   build/BENCH_fig09_paged.json
+
+echo
+echo "=== wire serving: protocol + WFQ isolation over live sockets ==="
+# --selfcheck gates: trace-replay answers over a live Unix socket (and
+# single queries over TCP loopback) byte-identical to a dedicated
+# in-process QueryService, exact typed kOverloaded/kInvalidSource
+# rejections, the weight-4 tenant >= 3x the weight-1 tenant inside the
+# saturated DRR window with no starvation, and a clean drain.
+./build/emogi_bench run net_serving --scale 8192 --sources 2 --selfcheck
+./build/emogi_bench run net_serving --scale 8192 --sources 2 \
+  --format=json --out build/BENCH_net_serving.json
+grep -q '"schema": "emogi-bench-report"' build/BENCH_net_serving.json
+
+echo
+echo "=== wire serving: emogi_serve <-> emogi_client round trip ==="
+# Launches emogi_serve --listen on a scratch Unix socket, replays a
+# seeded trace through the real emogi_client binary with --check
+# (parity against a dedicated in-process service) and --require-ok,
+# then SIGINT-drains the server and requires exit 0.
+EMOGI_SCALE=8192 EMOGI_SOURCES=2 scripts/serve_roundtrip.sh \
+  build/emogi_serve build/emogi_client build/serve_roundtrip_verify
 
 echo
 echo "=== bench history ledger: fig09 trajectory (dry run) ==="

@@ -1,0 +1,149 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace emogi::net {
+
+bool Client::Connect(const std::string& address, const std::string& tenant,
+                     std::uint32_t weight, std::string* error) {
+  Address addr;
+  if (!ParseAddress(address, &addr, error)) return false;
+  fd_ = ConnectFd(addr, error);
+  if (fd_ < 0) return false;
+
+  HelloMsg hello;
+  hello.tenant = tenant;
+  hello.weight = weight;
+  if (!WriteAll(EncodeHello(hello), error)) {
+    Close(false);
+    return false;
+  }
+  Frame frame;
+  if (!ReadFrame(&frame, error)) {
+    Close(false);
+    return false;
+  }
+  if (frame.type == FrameType::kError) {
+    ErrorMsg err;
+    *error = DecodeError(frame.payload, &err)
+                 ? std::string("server rejected handshake: ") +
+                       ToString(err.code) + " (" + err.message + ")"
+                 : "server rejected handshake with an undecodable error";
+    Close(false);
+    return false;
+  }
+  if (frame.type != FrameType::kHelloAck ||
+      !DecodeHelloAck(frame.payload, &server_info_)) {
+    *error = "expected HELLO_ACK, got " + std::string(ToString(frame.type));
+    Close(false);
+    return false;
+  }
+  return true;
+}
+
+bool Client::Send(std::uint64_t id, const runtime::Request& request,
+                  std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  RequestMsg msg;
+  msg.id = id;
+  msg.request = request;
+  return WriteAll(EncodeRequest(msg), error);
+}
+
+bool Client::ReadResponse(ResponseMsg* out, std::string* error) {
+  Frame frame;
+  if (!ReadFrame(&frame, error)) {
+    Close(false);
+    return false;
+  }
+  if (frame.type == FrameType::kError) {
+    ErrorMsg err;
+    *error = DecodeError(frame.payload, &err)
+                 ? std::string("server error: ") + ToString(err.code) + " (" +
+                       err.message + ")"
+                 : "server sent an undecodable error frame";
+    Close(false);
+    return false;
+  }
+  if (frame.type != FrameType::kResponse ||
+      !DecodeResponse(frame.payload, out)) {
+    *error = "expected RESPONSE, got " + std::string(ToString(frame.type));
+    Close(false);
+    return false;
+  }
+  return true;
+}
+
+bool Client::Submit(std::uint64_t id, const runtime::Request& request,
+                    ResponseMsg* out, std::string* error) {
+  if (!Send(id, request, error)) return false;
+  if (!ReadResponse(out, error)) return false;
+  if (out->id != id) {
+    *error = "response id mismatch: sent " + std::to_string(id) + ", got " +
+             std::to_string(out->id);
+    Close(false);
+    return false;
+  }
+  return true;
+}
+
+void Client::Close(bool send_goodbye) {
+  if (fd_ < 0) return;
+  if (send_goodbye) {
+    std::string ignored;
+    WriteAll(EncodeGoodbye(), &ignored);
+  }
+  close(fd_);
+  fd_ = -1;
+  rbuf_.clear();
+}
+
+bool Client::WriteAll(const std::vector<std::uint8_t>& bytes,
+                      std::string* error) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::ReadFrame(Frame* frame, std::string* error) {
+  for (;;) {
+    std::size_t consumed = 0;
+    const DecodeStatus status =
+        DecodeFrame(rbuf_.data(), rbuf_.size(), frame, &consumed);
+    if (status == DecodeStatus::kOk) {
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return true;
+    }
+    if (status != DecodeStatus::kIncomplete) {
+      *error = std::string("malformed frame from server: ") + ToString(status);
+      return false;
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *error = n == 0 ? "connection closed by server"
+                    : std::string("read: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+}  // namespace emogi::net

@@ -1,0 +1,491 @@
+#include "net/listener.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace emogi::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 4096;
+
+}  // namespace
+
+Listener::Listener(const runtime::QueryService* service,
+                   ListenerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      wfq_(options_.tenant_queue_bound) {}
+
+Listener::~Listener() {
+  Shutdown();
+  if (thread_.joinable()) Join();
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+  if (!address_.is_tcp && !address_.path.empty() && bound_) {
+    unlink(address_.path.c_str());  // Remove the socket file we created.
+  }
+}
+
+std::uint64_t Listener::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool Listener::Open(std::string* error) {
+  if (!ParseAddress(options_.address, &address_, error)) return false;
+  listen_fd_ = CreateListenFd(&address_, /*backlog=*/128, error);
+  if (listen_fd_ < 0) return false;
+  bound_ = true;
+  if (!SetNonBlocking(listen_fd_)) {
+    *error = "fcntl(listen): " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (pipe(wake_fds_) != 0) {
+    *error = "pipe: " + std::string(std::strerror(errno));
+    return false;
+  }
+  SetNonBlocking(wake_fds_[0]);
+  paused_.store(options_.start_paused);
+  return true;
+}
+
+void Listener::Shutdown() {
+  draining_.store(true);
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Listener::Pause() { paused_.store(true); }
+
+void Listener::Resume() {
+  paused_.store(false);
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Listener::Start() {
+  thread_ = std::thread([this] { run_result_ = Run(); });
+}
+
+int Listener::Join() {
+  if (thread_.joinable()) thread_.join();
+  return run_result_;
+}
+
+ListenerStats Listener::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Listener::AcceptNew() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      return;  // Transient accept errors: try again next poll round.
+    }
+    if (static_cast<int>(conns_.size()) >= options_.max_conns) {
+      // Refuse loudly: one typed error frame, then close. The fd is
+      // still blocking here, and the frame is tiny, so a plain write
+      // delivers it without joining the event loop.
+      ErrorMsg err;
+      err.code = ErrorCode::kTooManyConnections;
+      err.message = "connection limit " +
+                    std::to_string(options_.max_conns) + " reached";
+      const std::vector<std::uint8_t> frame = EncodeError(err);
+      [[maybe_unused]] ssize_t n = write(fd, frame.data(), frame.size());
+      close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_refused;
+      continue;
+    }
+    SetNonBlocking(fd);
+    Connection conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    const std::uint64_t id = conn.id;
+    conns_.emplace(id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void Listener::SendError(Connection* conn, ErrorCode code,
+                         const std::string& what) {
+  ErrorMsg err;
+  err.code = code;
+  err.message = what;
+  const std::vector<std::uint8_t> frame = EncodeError(err);
+  conn->wbuf.insert(conn->wbuf.end(), frame.begin(), frame.end());
+  conn->closing = true;
+  conn->stop_reading = true;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.protocol_errors;
+}
+
+void Listener::SendResponse(Connection* conn, const ResponseMsg& msg) {
+  const std::vector<std::uint8_t> frame = EncodeResponse(msg);
+  conn->wbuf.insert(conn->wbuf.end(), frame.begin(), frame.end());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.responses_sent;
+}
+
+bool Listener::HandleFrame(Connection* conn, const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_received;
+  }
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (conn->saw_hello) {
+        SendError(conn, ErrorCode::kDuplicateHello,
+                  "handshake already completed");
+        return true;
+      }
+      HelloMsg hello;
+      if (!DecodeHello(frame.payload, &hello)) {
+        SendError(conn, ErrorCode::kBadMessage, "undecodable HELLO payload");
+        return true;
+      }
+      conn->saw_hello = true;
+      conn->tenant = wfq_.AddTenant(
+          hello.tenant.empty() ? "default" : hello.tenant, hello.weight);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        while (static_cast<int>(stats_.tenants.size()) < wfq_.num_tenants()) {
+          TenantStats t;
+          const int idx = static_cast<int>(stats_.tenants.size());
+          t.name = wfq_.tenant_name(idx);
+          t.weight = wfq_.tenant_weight(idx);
+          stats_.tenants.push_back(std::move(t));
+        }
+      }
+      HelloAckMsg ack;
+      ack.num_graphs = static_cast<std::uint32_t>(service_->num_graphs());
+      ack.max_lanes = static_cast<std::uint32_t>(EffectiveLanes());
+      const std::vector<std::uint8_t> out = EncodeHelloAck(ack);
+      conn->wbuf.insert(conn->wbuf.end(), out.begin(), out.end());
+      return true;
+    }
+    case FrameType::kRequest: {
+      if (!conn->saw_hello) {
+        SendError(conn, ErrorCode::kHelloRequired,
+                  "first frame must be HELLO");
+        return true;
+      }
+      RequestMsg req;
+      if (!DecodeRequest(frame.payload, &req)) {
+        SendError(conn, ErrorCode::kBadMessage, "undecodable REQUEST payload");
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.tenants[conn->tenant].arrivals;
+      }
+      // Validation rejections and queue-bound rejections answer
+      // immediately with serve_seq 0 -- they never reach a wave, so
+      // they overtake queued work on the wire (id-matched, not
+      // order-matched).
+      const runtime::Status v = service_->Validate(req.request);
+      if (v != runtime::Status::kOk) {
+        ResponseMsg out;
+        out.id = req.id;
+        out.response.status = v;
+        out.response.kind = req.request.kind;
+        out.response.source = req.request.source;
+        out.response.graph = req.request.graph;
+        SendResponse(conn, out);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.tenants[conn->tenant].rejected_invalid;
+        return true;
+      }
+      PendingRequest pending;
+      pending.id = req.id;
+      pending.connection = conn->id;
+      pending.enqueue_ns = NowNs();
+      pending.request = req.request;
+      if (!wfq_.Enqueue(conn->tenant, std::move(pending))) {
+        ResponseMsg out;
+        out.id = req.id;
+        out.response.status = runtime::Status::kOverloaded;
+        out.response.kind = req.request.kind;
+        out.response.source = req.request.source;
+        out.response.graph = req.request.graph;
+        SendResponse(conn, out);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.tenants[conn->tenant].rejected_overload;
+        return true;
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.tenants[conn->tenant].queue_depth =
+          wfq_.tenant_depth(conn->tenant);
+      return true;
+    }
+    case FrameType::kGoodbye:
+      conn->stop_reading = true;
+      conn->closing = true;
+      return true;
+    case FrameType::kHelloAck:
+    case FrameType::kResponse:
+    case FrameType::kError:
+      SendError(conn, ErrorCode::kUnexpectedType,
+                std::string("server never accepts ") + ToString(frame.type));
+      return true;
+  }
+  SendError(conn, ErrorCode::kUnexpectedType, "unknown frame type");
+  return true;
+}
+
+bool Listener::ProcessFrames(Connection* conn) {
+  std::size_t offset = 0;
+  while (offset < conn->rbuf.size() && !conn->stop_reading) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status = DecodeFrame(
+        conn->rbuf.data() + offset, conn->rbuf.size() - offset, &frame,
+        &consumed);
+    if (status == DecodeStatus::kIncomplete) break;
+    if (status != DecodeStatus::kOk) {
+      // Framing is lost: one typed error, then flush-and-close.
+      const ErrorCode code = status == DecodeStatus::kBadVersion
+                                 ? ErrorCode::kVersionSkew
+                                 : ErrorCode::kMalformedFrame;
+      SendError(conn, code, ToString(status));
+      break;
+    }
+    offset += consumed;
+    HandleFrame(conn, frame);
+  }
+  conn->rbuf.erase(conn->rbuf.begin(),
+                   conn->rbuf.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+bool Listener::HandleReadable(Connection* conn) {
+  for (;;) {
+    const std::size_t old_size = conn->rbuf.size();
+    conn->rbuf.resize(old_size + kReadChunk);
+    const ssize_t n = read(conn->fd, conn->rbuf.data() + old_size, kReadChunk);
+    if (n > 0) {
+      conn->rbuf.resize(old_size + static_cast<std::size_t>(n));
+      continue;
+    }
+    conn->rbuf.resize(old_size);
+    if (n == 0) {
+      // Peer closed its write side. Pending responses still flush; the
+      // connection closes once the write buffer empties.
+      conn->stop_reading = true;
+      conn->closing = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // Hard read error: drop the connection.
+  }
+  return ProcessFrames(conn);
+}
+
+bool Listener::HandleWritable(Connection* conn) {
+  while (conn->woff < conn->wbuf.size()) {
+    const ssize_t n = write(conn->fd, conn->wbuf.data() + conn->woff,
+                            conn->wbuf.size() - conn->woff);
+    if (n > 0) {
+      conn->woff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // Hard write error (EPIPE et al): drop.
+  }
+  conn->wbuf.clear();
+  conn->woff = 0;
+  return !conn->closing;
+}
+
+int Listener::EffectiveLanes() const {
+  int lanes = options_.max_lanes > 0 ? options_.max_lanes
+                                     : service_->max_lanes();
+  return std::max(1, std::min(lanes, service_->max_lanes()));
+}
+
+void Listener::DispatchBatch() {
+  std::vector<PendingRequest> batch =
+      wfq_.PopBatch(static_cast<std::size_t>(EffectiveLanes()));
+  if (batch.empty()) return;
+  std::vector<runtime::Request> requests;
+  requests.reserve(batch.size());
+  for (const PendingRequest& p : batch) requests.push_back(p.request);
+  const std::vector<runtime::Response> responses =
+      service_->SubmitBatch(requests);
+  const std::uint64_t now = NowNs();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingRequest& p = batch[i];
+    ResponseMsg out;
+    out.id = p.id;
+    out.serve_seq = ++serve_seq_;
+    out.latency_ns = now > p.enqueue_ns ? now - p.enqueue_ns : 0;
+    out.response = responses[i];
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      TenantStats& t = stats_.tenants[p.tenant];
+      ++t.served;
+      t.latencies_ns.push_back(out.latency_ns);
+      t.queue_depth = wfq_.tenant_depth(p.tenant);
+    }
+    // The origin connection may have gone away while the request was
+    // queued; monotonic ids make that a clean drop, never a delivery
+    // to whoever reused the fd.
+    auto it = conns_.find(p.connection);
+    if (it != conns_.end()) SendResponse(&it->second, out);
+  }
+}
+
+void Listener::CloseConnection(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  close(it->second.fd);
+  wfq_.DropConnection(id);
+  conns_.erase(it);
+}
+
+bool Listener::DrainComplete() const {
+  return wfq_.TotalPending() == 0 && conns_.empty();
+}
+
+int Listener::Run() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn_ids;
+  bool drain_marked = false;
+
+  for (;;) {
+    const bool draining = draining_.load();
+    if (draining && !drain_marked) {
+      drain_marked = true;
+      drain_started_ns_ = NowNs();
+      for (auto& [id, conn] : conns_) conn.stop_reading = true;
+    }
+    if (draining && DrainComplete()) break;
+
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fd_conn_ids.push_back(0);
+    if (!draining) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn_ids.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!conn.stop_reading) events |= POLLIN;
+      if (conn.woff < conn.wbuf.size()) events |= POLLOUT;
+      if (events == 0 && conn.wbuf.empty() && (conn.closing || draining)) {
+        // Nothing left to say in either direction.
+        continue;
+      }
+      fds.push_back({conn.fd, events, 0});
+      fd_conn_ids.push_back(id);
+    }
+
+    const bool dispatch_ready =
+        (!paused_.load() || draining) && wfq_.TotalPending() > 0;
+    int timeout = dispatch_ready ? 0 : options_.poll_timeout_ms;
+    if (draining) timeout = std::min(timeout, 20);
+
+    const int ready = poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) break;
+
+    // Wake pipe: drain it; 'q' bytes request shutdown (signal path).
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      ssize_t n;
+      while ((n = read(wake_fds_[0], buf, sizeof(buf))) > 0) {
+        for (ssize_t i = 0; i < n; ++i) {
+          if (buf[i] == 'q') draining_.store(true);
+        }
+      }
+    }
+
+    std::size_t idx = 1;
+    if (!draining) {
+      if (fds[idx].revents & POLLIN) AcceptNew();
+      ++idx;
+    }
+    std::vector<std::uint64_t> to_close;
+    for (; idx < fds.size(); ++idx) {
+      const std::uint64_t id = fd_conn_ids[idx];
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Connection& conn = it->second;
+      if (fds[idx].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        if (!(fds[idx].revents & POLLIN) && conn.wbuf.empty()) {
+          to_close.push_back(id);
+          continue;
+        }
+      }
+      if (fds[idx].revents & POLLIN) {
+        if (!HandleReadable(&conn)) {
+          to_close.push_back(id);
+          continue;
+        }
+      }
+      if ((fds[idx].revents & POLLOUT) && conn.woff < conn.wbuf.size()) {
+        if (!HandleWritable(&conn)) {
+          to_close.push_back(id);
+          continue;
+        }
+      }
+      if (conn.wbuf.empty() && conn.closing) to_close.push_back(id);
+    }
+    for (std::uint64_t id : to_close) CloseConnection(id);
+
+    if ((!paused_.load() || draining) && wfq_.TotalPending() > 0) {
+      DispatchBatch();
+    }
+
+    if (draining) {
+      // Connections with nothing pending in either direction are done.
+      std::vector<std::uint64_t> done;
+      for (auto& [id, conn] : conns_) {
+        bool has_queued = false;
+        // A connection with queued-but-undispatched work must stay
+        // until DispatchBatch answers it.
+        if (wfq_.TotalPending() > 0) {
+          // Cheap conservative check; per-connection scan not needed
+          // because dispatch drains the whole WFQ before conns empty.
+          has_queued = true;
+        }
+        if (!has_queued && conn.wbuf.empty()) done.push_back(id);
+      }
+      for (std::uint64_t id : done) CloseConnection(id);
+      const std::uint64_t now = NowNs();
+      const std::uint64_t budget =
+          static_cast<std::uint64_t>(options_.drain_timeout_ms) * 1000000ull;
+      if (now - drain_started_ns_ > budget && !DrainComplete()) {
+        for (auto& [id, conn] : conns_) {
+          if (!conn.wbuf.empty()) force_closed_ = true;
+        }
+        std::vector<std::uint64_t> all;
+        for (auto& [id, conn] : conns_) all.push_back(id);
+        for (std::uint64_t id : all) CloseConnection(id);
+        break;
+      }
+    }
+  }
+  return force_closed_ ? 1 : 0;
+}
+
+}  // namespace emogi::net

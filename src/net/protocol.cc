@@ -1,0 +1,419 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace emogi::net {
+namespace {
+
+// Little-endian scalar append/read. The wire format is explicit-byte so
+// the encoding is identical across hosts regardless of native order.
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xff));
+  out->push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0]) |
+         static_cast<std::uint16_t>(p[1]) << 8;
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool ValidFrameType(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint16_t>(FrameType::kGoodbye);
+}
+
+// A sequential payload reader that fails sticky on any out-of-bounds
+// read, so Decode* bodies read field-by-field and check once at the end.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t U32() {
+    if (!Take(4)) return 0;
+    return GetU32(data_ + pos_ - 4);
+  }
+  std::uint64_t U64() {
+    if (!Take(8)) return 0;
+    return GetU64(data_ + pos_ - 8);
+  }
+  bool Bytes(std::size_t n, std::string* out) {
+    if (!Take(n)) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_ - n), n);
+    return true;
+  }
+  template <typename T>
+  bool Array(std::size_t count, std::vector<T>* out) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8, "wire scalar width");
+    if (count > size_ / sizeof(T)) return ok_ = false;  // Cheap pre-check.
+    out->resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if constexpr (sizeof(T) == 4) {
+        (*out)[i] = static_cast<T>(U32());
+      } else {
+        (*out)[i] = static_cast<T>(U64());
+      }
+    }
+    return ok_;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) return ok_ = false;
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::vector<std::uint8_t> FinishFrame(FrameType type,
+                                      const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  AppendFrame(&out, type, body.data(), body.size());
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloAck:
+      return "HELLO_ACK";
+    case FrameType::kRequest:
+      return "REQUEST";
+    case FrameType::kResponse:
+      return "RESPONSE";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kGoodbye:
+      return "GOODBYE";
+  }
+  return "UNKNOWN";
+}
+
+const char* ToString(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kIncomplete:
+      return "incomplete";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kBadVersion:
+      return "bad-version";
+    case DecodeStatus::kBadType:
+      return "bad-type";
+    case DecodeStatus::kOversized:
+      return "oversized";
+    case DecodeStatus::kBadChecksum:
+      return "bad-checksum";
+  }
+  return "unknown";
+}
+
+const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformedFrame:
+      return "malformed-frame";
+    case ErrorCode::kVersionSkew:
+      return "version-skew";
+    case ErrorCode::kBadMessage:
+      return "bad-message";
+    case ErrorCode::kHelloRequired:
+      return "hello-required";
+    case ErrorCode::kDuplicateHello:
+      return "duplicate-hello";
+    case ErrorCode::kUnexpectedType:
+      return "unexpected-type";
+    case ErrorCode::kTooManyConnections:
+      return "too-many-connections";
+  }
+  return "unknown";
+}
+
+std::uint32_t Fnv1a32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+void AppendFrame(std::vector<std::uint8_t>* out, FrameType type,
+                 const std::uint8_t* payload, std::size_t payload_size) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload_size);
+  PutU32(out, kWireMagic);
+  PutU16(out, kWireVersion);
+  PutU16(out, static_cast<std::uint16_t>(type));
+  PutU32(out, static_cast<std::uint32_t>(payload_size));
+  PutU32(out, Fnv1a32(payload, payload_size));
+  out->insert(out->end(), payload, payload + payload_size);
+}
+
+DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t size,
+                         Frame* frame, std::size_t* consumed) {
+  *consumed = 0;
+  if (size < kFrameHeaderBytes) return DecodeStatus::kIncomplete;
+  if (GetU32(data) != kWireMagic) return DecodeStatus::kBadMagic;
+  if (GetU16(data + 4) != kWireVersion) return DecodeStatus::kBadVersion;
+  const std::uint16_t raw_type = GetU16(data + 6);
+  if (!ValidFrameType(raw_type)) return DecodeStatus::kBadType;
+  const std::uint32_t payload_len = GetU32(data + 8);
+  if (payload_len > kMaxPayloadBytes) return DecodeStatus::kOversized;
+  if (size - kFrameHeaderBytes < payload_len) return DecodeStatus::kIncomplete;
+  const std::uint8_t* payload = data + kFrameHeaderBytes;
+  if (Fnv1a32(payload, payload_len) != GetU32(data + 12)) {
+    return DecodeStatus::kBadChecksum;
+  }
+  frame->type = static_cast<FrameType>(raw_type);
+  frame->payload.assign(payload, payload + payload_len);
+  *consumed = kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kOk;
+}
+
+// --- Hello -----------------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeHello(const HelloMsg& msg) {
+  std::vector<std::uint8_t> body;
+  PutU32(&body, msg.weight);
+  PutU32(&body, static_cast<std::uint32_t>(msg.tenant.size()));
+  body.insert(body.end(), msg.tenant.begin(), msg.tenant.end());
+  return FinishFrame(FrameType::kHello, body);
+}
+
+bool DecodeHello(const std::vector<std::uint8_t>& payload, HelloMsg* out) {
+  Reader r(payload.data(), payload.size());
+  HelloMsg msg;
+  msg.weight = r.U32();
+  const std::uint32_t tenant_len = r.U32();
+  if (!r.ok() || tenant_len > kMaxTenantBytes) return false;
+  if (!r.Bytes(tenant_len, &msg.tenant) || !r.AtEnd()) return false;
+  *out = std::move(msg);
+  return true;
+}
+
+// --- HelloAck --------------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeHelloAck(const HelloAckMsg& msg) {
+  std::vector<std::uint8_t> body;
+  PutU32(&body, msg.num_graphs);
+  PutU32(&body, msg.max_lanes);
+  return FinishFrame(FrameType::kHelloAck, body);
+}
+
+bool DecodeHelloAck(const std::vector<std::uint8_t>& payload,
+                    HelloAckMsg* out) {
+  Reader r(payload.data(), payload.size());
+  HelloAckMsg msg;
+  msg.num_graphs = r.U32();
+  msg.max_lanes = r.U32();
+  if (!r.AtEnd()) return false;
+  *out = msg;
+  return true;
+}
+
+// --- Request ---------------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeRequest(const RequestMsg& msg) {
+  std::vector<std::uint8_t> body;
+  PutU64(&body, msg.id);
+  PutU32(&body, static_cast<std::uint32_t>(msg.request.kind));
+  PutU32(&body, static_cast<std::uint32_t>(msg.request.graph));
+  PutU32(&body, msg.request.source);
+  PutU32(&body, 0);  // Reserved; keeps deadline_ns 8-byte aligned.
+  PutU64(&body, msg.request.deadline_ns);
+  return FinishFrame(FrameType::kRequest, body);
+}
+
+bool DecodeRequest(const std::vector<std::uint8_t>& payload, RequestMsg* out) {
+  Reader r(payload.data(), payload.size());
+  RequestMsg msg;
+  msg.id = r.U64();
+  const std::uint32_t kind = r.U32();
+  const std::uint32_t graph = r.U32();
+  msg.request.source = r.U32();
+  r.U32();  // Reserved.
+  msg.request.deadline_ns = r.U64();
+  if (!r.AtEnd()) return false;
+  if (kind > static_cast<std::uint32_t>(runtime::QueryKind::kCc)) return false;
+  // Shard ids are small and dense; a graph id with the top bit set is a
+  // corrupted or hostile frame, not a future valid shard.
+  if (graph > 0x7fffffffu) return false;
+  msg.request.kind = static_cast<runtime::QueryKind>(kind);
+  msg.request.graph = static_cast<int>(graph);
+  *out = msg;
+  return true;
+}
+
+// --- Response --------------------------------------------------------------
+
+namespace {
+
+// Which (at most one) payload vector a response carries on the wire.
+enum PayloadKind : std::uint32_t {
+  kPayloadNone = 0,
+  kPayloadLevels = 1,     // u32 per vertex (BFS).
+  kPayloadDistances = 2,  // u64 per vertex (SSSP).
+  kPayloadLabels = 3,     // u32 per vertex (CC).
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeResponse(const ResponseMsg& msg) {
+  const runtime::Response& resp = msg.response;
+  std::uint32_t payload_kind = kPayloadNone;
+  std::uint32_t count = 0;
+  if (!resp.levels.empty()) {
+    payload_kind = kPayloadLevels;
+    count = static_cast<std::uint32_t>(resp.levels.size());
+  } else if (!resp.distances.empty()) {
+    payload_kind = kPayloadDistances;
+    count = static_cast<std::uint32_t>(resp.distances.size());
+  } else if (!resp.labels.empty()) {
+    payload_kind = kPayloadLabels;
+    count = static_cast<std::uint32_t>(resp.labels.size());
+  }
+
+  std::vector<std::uint8_t> body;
+  PutU64(&body, msg.id);
+  PutU64(&body, msg.serve_seq);
+  PutU64(&body, msg.latency_ns);
+  PutU64(&body, resp.edges_scanned);
+  PutU32(&body, static_cast<std::uint32_t>(resp.status));
+  PutU32(&body, static_cast<std::uint32_t>(resp.kind));
+  PutU32(&body, static_cast<std::uint32_t>(resp.graph));
+  PutU32(&body, resp.source);
+  PutU32(&body, static_cast<std::uint32_t>(resp.wave));
+  PutU32(&body, static_cast<std::uint32_t>(resp.lane));
+  PutU32(&body, payload_kind);
+  PutU32(&body, count);
+  switch (payload_kind) {
+    case kPayloadLevels:
+      for (std::uint32_t v : resp.levels) PutU32(&body, v);
+      break;
+    case kPayloadDistances:
+      for (std::uint64_t v : resp.distances) PutU64(&body, v);
+      break;
+    case kPayloadLabels:
+      for (graph::VertexId v : resp.labels) PutU32(&body, v);
+      break;
+    default:
+      break;
+  }
+  return FinishFrame(FrameType::kResponse, body);
+}
+
+bool DecodeResponse(const std::vector<std::uint8_t>& payload,
+                    ResponseMsg* out) {
+  Reader r(payload.data(), payload.size());
+  ResponseMsg msg;
+  msg.id = r.U64();
+  msg.serve_seq = r.U64();
+  msg.latency_ns = r.U64();
+  msg.response.edges_scanned = r.U64();
+  const std::uint32_t status = r.U32();
+  const std::uint32_t kind = r.U32();
+  const std::uint32_t graph = r.U32();
+  msg.response.source = r.U32();
+  const std::uint32_t wave = r.U32();
+  const std::uint32_t lane = r.U32();
+  const std::uint32_t payload_kind = r.U32();
+  const std::uint32_t count = r.U32();
+  if (!r.ok()) return false;
+  if (status > static_cast<std::uint32_t>(runtime::Status::kDeadlineExceeded))
+    return false;
+  if (kind > static_cast<std::uint32_t>(runtime::QueryKind::kCc)) return false;
+  if (graph > 0x7fffffffu) return false;
+  switch (payload_kind) {
+    case kPayloadNone:
+      if (count != 0) return false;
+      break;
+    case kPayloadLevels:
+      if (!r.Array(count, &msg.response.levels)) return false;
+      break;
+    case kPayloadDistances:
+      if (!r.Array(count, &msg.response.distances)) return false;
+      break;
+    case kPayloadLabels:
+      if (!r.Array(count, &msg.response.labels)) return false;
+      break;
+    default:
+      return false;
+  }
+  if (!r.AtEnd()) return false;
+  msg.response.status = static_cast<runtime::Status>(status);
+  msg.response.kind = static_cast<runtime::QueryKind>(kind);
+  msg.response.graph = static_cast<int>(graph);
+  msg.response.wave = static_cast<std::int32_t>(wave);
+  msg.response.lane = static_cast<std::int32_t>(lane);
+  *out = std::move(msg);
+  return true;
+}
+
+// --- Error / Goodbye -------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeError(const ErrorMsg& msg) {
+  std::vector<std::uint8_t> body;
+  PutU32(&body, static_cast<std::uint32_t>(msg.code));
+  std::string text = msg.message;
+  if (text.size() > kMaxErrorMessageBytes) text.resize(kMaxErrorMessageBytes);
+  PutU32(&body, static_cast<std::uint32_t>(text.size()));
+  body.insert(body.end(), text.begin(), text.end());
+  return FinishFrame(FrameType::kError, body);
+}
+
+bool DecodeError(const std::vector<std::uint8_t>& payload, ErrorMsg* out) {
+  Reader r(payload.data(), payload.size());
+  ErrorMsg msg;
+  const std::uint32_t code = r.U32();
+  const std::uint32_t msg_len = r.U32();
+  if (!r.ok() || msg_len > kMaxErrorMessageBytes) return false;
+  if (!r.Bytes(msg_len, &msg.message) || !r.AtEnd()) return false;
+  if (code < static_cast<std::uint32_t>(ErrorCode::kMalformedFrame) ||
+      code > static_cast<std::uint32_t>(ErrorCode::kTooManyConnections)) {
+    return false;
+  }
+  msg.code = static_cast<ErrorCode>(code);
+  *out = std::move(msg);
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeGoodbye() {
+  return FinishFrame(FrameType::kGoodbye, {});
+}
+
+}  // namespace emogi::net

@@ -1,0 +1,179 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace emogi::net {
+namespace {
+
+std::string Errno(const char* call) {
+  return std::string(call) + ": " + std::strerror(errno);
+}
+
+bool FillSockaddrIn(const Address& addr, sockaddr_in* sin,
+                    std::string* error) {
+  std::memset(sin, 0, sizeof(*sin));
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  const std::string host = addr.host == "localhost" ? "127.0.0.1" : addr.host;
+  if (inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    *error = "unresolvable host '" + addr.host +
+             "' (IPv4 literal or 'localhost' only)";
+    return false;
+  }
+  return true;
+}
+
+bool FillSockaddrUn(const Address& addr, sockaddr_un* sun,
+                    std::string* error) {
+  std::memset(sun, 0, sizeof(*sun));
+  sun->sun_family = AF_UNIX;
+  if (addr.path.size() >= sizeof(sun->sun_path)) {
+    *error = "unix socket path too long (" + std::to_string(addr.path.size()) +
+             " bytes, max " + std::to_string(sizeof(sun->sun_path) - 1) + ")";
+    return false;
+  }
+  std::memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string Address::ToString() const {
+  if (is_tcp) return host + ":" + std::to_string(port);
+  return path;
+}
+
+bool ParseAddress(const std::string& text, Address* out, std::string* error) {
+  if (text.empty()) {
+    *error = "empty address";
+    return false;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    out->is_tcp = false;
+    out->path = text;
+    out->host.clear();
+    out->port = 0;
+    // Fail the over-long path here, at parse time, not at bind time.
+    sockaddr_un probe;
+    return FillSockaddrUn(*out, &probe, error);
+  }
+  out->is_tcp = true;
+  out->host = text.substr(0, colon);
+  out->path.clear();
+  if (out->host.empty()) out->host = "127.0.0.1";
+  const std::string port_text = text.substr(colon + 1);
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos ||
+      port_text.size() > 5) {
+    *error = "bad port '" + port_text + "' in '" + text + "'";
+    return false;
+  }
+  const unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
+  if (port > 65535) {
+    *error = "port out of range in '" + text + "'";
+    return false;
+  }
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+int CreateListenFd(Address* addr, int backlog, std::string* error) {
+  if (addr->is_tcp) {
+    sockaddr_in sin;
+    if (!FillSockaddrIn(*addr, &sin, error)) return -1;
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = Errno("socket");
+      return -1;
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      *error = Errno("bind");
+      close(fd);
+      return -1;
+    }
+    if (listen(fd, backlog) != 0) {
+      *error = Errno("listen");
+      close(fd);
+      return -1;
+    }
+    // Port 0 -> read back what the kernel assigned so clients (and the
+    // bound_address() accessor) see the real port.
+    socklen_t len = sizeof(sin);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) == 0) {
+      addr->port = ntohs(sin.sin_port);
+    }
+    return fd;
+  }
+
+  sockaddr_un sun;
+  if (!FillSockaddrUn(*addr, &sun, error)) return -1;
+  unlink(addr->path.c_str());  // A stale socket file from a dead server.
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+    *error = Errno("bind");
+    close(fd);
+    return -1;
+  }
+  if (listen(fd, backlog) != 0) {
+    *error = Errno("listen");
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectFd(const Address& addr, std::string* error) {
+  if (addr.is_tcp) {
+    sockaddr_in sin;
+    if (!FillSockaddrIn(addr, &sin, error)) return -1;
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = Errno("socket");
+      return -1;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      *error = Errno("connect");
+      close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  sockaddr_un sun;
+  if (!FillSockaddrUn(addr, &sun, error)) return -1;
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+    *error = Errno("connect");
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace emogi::net

@@ -1,0 +1,44 @@
+// Thin POSIX socket helpers shared by net::Listener and net::Client.
+//
+// One address syntax covers both transports: a string containing a
+// colon is TCP ("host:port", host an IPv4 literal or "localhost", port
+// 0 lets the kernel pick -- the bound port is readable back via
+// LocalAddress); anything else is a Unix-domain socket path.
+
+#ifndef EMOGI_NET_SOCKET_H_
+#define EMOGI_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace emogi::net {
+
+struct Address {
+  bool is_tcp = false;
+  std::string host;         // TCP only.
+  std::uint16_t port = 0;   // TCP only.
+  std::string path;         // Unix only.
+
+  // Canonical "host:port" or path form.
+  std::string ToString() const;
+};
+
+// Parses the --listen / --connect syntax above. Returns false (with a
+// reason in *error) for an empty string, an unparsable port, or a Unix
+// path too long for sockaddr_un.
+bool ParseAddress(const std::string& text, Address* out, std::string* error);
+
+// Creates, binds, and listens. Unix sockets unlink a stale path first;
+// TCP sets SO_REUSEADDR and resolves port 0 back into *addr. Returns
+// the listening fd, or -1 with the failing call in *error.
+int CreateListenFd(Address* addr, int backlog, std::string* error);
+
+// Blocking connect. Returns the connected fd, or -1 with *error set.
+int ConnectFd(const Address& addr, std::string* error);
+
+// O_NONBLOCK via fcntl; returns false on failure.
+bool SetNonBlocking(int fd);
+
+}  // namespace emogi::net
+
+#endif  // EMOGI_NET_SOCKET_H_

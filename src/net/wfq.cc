@@ -1,0 +1,82 @@
+#include "net/wfq.h"
+
+#include <algorithm>
+
+namespace emogi::net {
+
+int WeightedFairQueue::AddTenant(const std::string& name,
+                                 std::uint32_t weight) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].name == name) return static_cast<int>(i);
+  }
+  Tenant t;
+  t.name = name;
+  t.weight = std::max<std::uint32_t>(1, std::min(weight, kMaxTenantWeight));
+  tenants_.push_back(std::move(t));
+  return static_cast<int>(tenants_.size() - 1);
+}
+
+bool WeightedFairQueue::Enqueue(int t, PendingRequest request) {
+  Tenant& tenant = tenants_[t];
+  if (tenant.queue.size() >= bound_) return false;
+  request.tenant = t;
+  tenant.queue.push_back(std::move(request));
+  return true;
+}
+
+std::vector<PendingRequest> WeightedFairQueue::PopBatch(
+    std::size_t max_count) {
+  std::vector<PendingRequest> batch;
+  if (tenants_.empty()) return batch;
+  batch.reserve(std::min(max_count, TotalPending()));
+  // Each outer step pops at most one request. `idle` counts consecutive
+  // tenants visited without a pop; a full lap of idle visits means
+  // every queue is empty and the scan stops.
+  std::size_t idle = 0;
+  while (batch.size() < max_count && idle < tenants_.size()) {
+    Tenant& tenant = tenants_[cursor_ % tenants_.size()];
+    if (tenant.queue.empty()) {
+      // No backlog, no banked credit: an idle tenant must not hoard
+      // deficit and burst past its weight share later.
+      tenant.deficit = 0;
+      cursor_ = (cursor_ + 1) % tenants_.size();
+      ++idle;
+      continue;
+    }
+    if (tenant.deficit == 0) tenant.deficit = tenant.weight;
+    batch.push_back(std::move(tenant.queue.front()));
+    tenant.queue.pop_front();
+    --tenant.deficit;
+    idle = 0;
+    if (tenant.deficit == 0 || tenant.queue.empty()) {
+      if (tenant.queue.empty()) tenant.deficit = 0;
+      cursor_ = (cursor_ + 1) % tenants_.size();
+    }
+  }
+  return batch;
+}
+
+std::size_t WeightedFairQueue::TotalPending() const {
+  std::size_t total = 0;
+  for (const Tenant& t : tenants_) total += t.queue.size();
+  return total;
+}
+
+std::vector<PendingRequest> WeightedFairQueue::DropConnection(
+    std::uint64_t connection) {
+  std::vector<PendingRequest> dropped;
+  for (Tenant& t : tenants_) {
+    std::deque<PendingRequest> kept;
+    for (PendingRequest& p : t.queue) {
+      if (p.connection == connection) {
+        dropped.push_back(std::move(p));
+      } else {
+        kept.push_back(std::move(p));
+      }
+    }
+    t.queue.swap(kept);
+  }
+  return dropped;
+}
+
+}  // namespace emogi::net

@@ -1,0 +1,88 @@
+// Weighted fair queueing over per-tenant request queues, replacing the
+// single FIFO admission bound when serving over the wire.
+//
+// The scheduler is deficit round-robin: each tenant owns a bounded
+// FIFO; a cursor walks the backlogged tenants, and a tenant arriving at
+// the cursor with an exhausted deficit is granted `weight` new credits.
+// Each credit pays for one popped request, so over any backlogged
+// window tenants are served in exact proportion to their weights --
+// weight 4 : weight 1 == 4 : 1 pops per round -- while a weight-1
+// tenant still drains one request per round (no starvation). Cursor and
+// deficit persist across PopBatch calls, so fairness holds across wave
+// boundaries, not just within one.
+//
+// Single-threaded by design: the poll loop in net::Listener is the only
+// caller. Determinism matters more than parallel admission here -- the
+// WFQ isolation selfcheck counts exact per-tenant service.
+
+#ifndef EMOGI_NET_WFQ_H_
+#define EMOGI_NET_WFQ_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "runtime/query_service.h"
+
+namespace emogi::net {
+
+inline constexpr std::uint32_t kMaxTenantWeight = 1024;
+
+// One admitted-but-not-yet-dispatched request.
+struct PendingRequest {
+  std::uint64_t id = 0;           // Client's correlation id.
+  std::uint64_t connection = 0;   // Listener connection id (response route).
+  std::uint64_t enqueue_ns = 0;   // Admission timestamp.
+  int tenant = 0;                 // Dense tenant index (stats attribution).
+  runtime::Request request;
+};
+
+class WeightedFairQueue {
+ public:
+  // Per-tenant queue bound: an arrival to a full tenant queue is
+  // rejected (the caller answers kOverloaded) without touching any
+  // other tenant's backlog.
+  explicit WeightedFairQueue(std::size_t tenant_queue_bound)
+      : bound_(tenant_queue_bound) {}
+
+  // Idempotent by name: the first registration fixes the weight
+  // (clamped to [1, kMaxTenantWeight]); later calls with the same name
+  // return the existing index so reconnecting clients keep their queue.
+  int AddTenant(const std::string& name, std::uint32_t weight);
+
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  const std::string& tenant_name(int t) const { return tenants_[t].name; }
+  std::uint32_t tenant_weight(int t) const { return tenants_[t].weight; }
+  std::size_t tenant_depth(int t) const { return tenants_[t].queue.size(); }
+
+  // False iff tenant `t`'s queue is at the bound (caller rejects).
+  bool Enqueue(int t, PendingRequest request);
+
+  // Pops up to `max_count` requests in DRR order. The returned batch
+  // preserves pop order, which is the service order the dispatcher
+  // stamps into serve_seq.
+  std::vector<PendingRequest> PopBatch(std::size_t max_count);
+
+  std::size_t TotalPending() const;
+
+  // Drops every queued request for a connection that went away; returns
+  // the dropped requests so the caller can account them.
+  std::vector<PendingRequest> DropConnection(std::uint64_t connection);
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::uint32_t weight = 1;
+    std::uint32_t deficit = 0;
+    std::deque<PendingRequest> queue;
+  };
+
+  std::size_t bound_;
+  std::vector<Tenant> tenants_;
+  std::size_t cursor_ = 0;  // Next tenant the DRR scan visits.
+};
+
+}  // namespace emogi::net
+
+#endif  // EMOGI_NET_WFQ_H_

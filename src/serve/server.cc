@@ -91,6 +91,7 @@ struct ShardSim {
         }
         if (queue.size() >= queue_bound) {
           ++stats.rejected_overload;
+          ++stats.rejected_overload_by_kind[static_cast<int>(a.request.kind)];
           finish(a, runtime::Status::kOverloaded, a.t);
           continue;
         }
@@ -192,6 +193,15 @@ std::uint64_t ServeOutcome::Served() const {
 std::uint64_t ServeOutcome::RejectedOverload() const {
   std::uint64_t total = 0;
   for (const ShardStats& shard : shards) total += shard.rejected_overload;
+  return total;
+}
+
+std::uint64_t ServeOutcome::RejectedOverloadOfKind(
+    runtime::QueryKind kind) const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) {
+    total += shard.rejected_overload_by_kind[static_cast<int>(kind)];
+  }
   return total;
 }
 
@@ -306,6 +316,10 @@ ServeOutcome Server::ServeTrace(
     merged.arrivals += timeline.arrivals;
     merged.served = timeline.served;
     merged.rejected_overload = timeline.rejected_overload;
+    for (int k = 0; k < 3; ++k) {
+      merged.rejected_overload_by_kind[k] =
+          timeline.rejected_overload_by_kind[k];
+    }
     merged.rejected_invalid += timeline.rejected_invalid;
     merged.dropped_deadline = timeline.dropped_deadline;
     merged.waves = timeline.waves;
@@ -388,6 +402,10 @@ ServeOutcome Server::ServeClosedLoop(
     merged.arrivals += timeline.arrivals;
     merged.served = timeline.served;
     merged.rejected_overload = timeline.rejected_overload;
+    for (int k = 0; k < 3; ++k) {
+      merged.rejected_overload_by_kind[k] =
+          timeline.rejected_overload_by_kind[k];
+    }
     merged.rejected_invalid += timeline.rejected_invalid;
     merged.dropped_deadline = timeline.dropped_deadline;
     merged.waves = timeline.waves;

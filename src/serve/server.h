@@ -91,6 +91,11 @@ struct ShardStats {
   std::uint64_t arrivals = 0;
   std::uint64_t served = 0;
   std::uint64_t rejected_overload = 0;
+  // rejected_overload broken out by request kind (indexed by
+  // runtime::QueryKind), so overload under a mixed stream is
+  // attributable to the class that actually got shed -- what the WFQ
+  // isolation work needs to see. Sums to rejected_overload.
+  std::uint64_t rejected_overload_by_kind[3] = {0, 0, 0};
   std::uint64_t rejected_invalid = 0;
   std::uint64_t dropped_deadline = 0;
   std::uint64_t waves = 0;
@@ -107,6 +112,8 @@ struct ServeOutcome {
   std::vector<std::uint64_t> ServedLatenciesNs() const;
   std::uint64_t Served() const;
   std::uint64_t RejectedOverload() const;
+  // Overload rejections of one request kind, summed over shards.
+  std::uint64_t RejectedOverloadOfKind(runtime::QueryKind kind) const;
   // Overload rejections / arrivals (0 when the trace is empty).
   double RejectRate() const;
   // Mean lanes per dispatched wave (the batching the stream actually

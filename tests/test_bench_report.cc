@@ -39,7 +39,7 @@ JsonValue ParseOrDie(const std::string& text) {
 void TestRegistryHasAllExperiments() {
   const std::vector<const bench::Experiment*> all =
       bench::Registry::Instance().All();
-  CHECK(all.size() == 20);
+  CHECK(all.size() == 21);
 
   std::set<std::string> ids;
   for (const bench::Experiment* experiment : all) {
@@ -53,7 +53,7 @@ void TestRegistryHasAllExperiments() {
         "fig11", "fig12", "fig13", "table2", "table3", "pcie_model_checks",
         "ablation_rtt", "ablation_worker_size", "ablation_compression",
         "scan_throughput", "query_throughput", "serving_latency",
-        "ingest_throughput"}) {
+        "ingest_throughput", "net_serving"}) {
     CHECK(ids.count(id) == 1);
     CHECK(bench::Registry::Instance().Find(id) != nullptr);
   }
@@ -62,6 +62,7 @@ void TestRegistryHasAllExperiments() {
   CHECK(bench::Registry::Instance().Find("query_throughput")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("serving_latency")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("ingest_throughput")->has_selfcheck);
+  CHECK(bench::Registry::Instance().Find("net_serving")->has_selfcheck);
   CHECK(bench::Registry::Instance().Find("no_such_experiment") == nullptr);
 }
 

@@ -1,0 +1,514 @@
+// The wire protocol's contracts, byte-exactly:
+//
+//  (a) Frame layout is frozen: a known RequestMsg encodes to a
+//      hand-computed byte sequence (magic, version, type, length, and
+//      FNV-1a-32 checksum at their documented offsets), so any codec
+//      drift breaks this file before it breaks a peer.
+//  (b) Every message type round-trips Encode -> DecodeFrame -> Decode*
+//      losslessly, including all three Response payload variants.
+//  (c) Truncation is never an error: every strict prefix of a valid
+//      frame decodes kIncomplete with nothing consumed.
+//  (d) Corruption is never silent: flipping any single bit of a valid
+//      frame either yields a typed decode error or (for type-field
+//      flips landing on another valid type) a frame that no longer
+//      claims the original type. No input crashes the decoder.
+//  (e) Oversized declared lengths and version-skewed frames are typed
+//      (kOversized / kBadVersion), not interpreted.
+//  (f) Payload decoders reject structural garbage -- bad lengths,
+//      unknown enum values, trailing bytes -- by returning false.
+//  (g) The deficit-round-robin WeightedFairQueue serves backlogged
+//      tenants in exact weight proportion (4:1 -> 4 pops then 1 pop per
+//      round), persists its cursor and deficits across PopBatch calls,
+//      never hoards credit across an empty queue, enforces the
+//      per-tenant bound, and drops a dead connection's requests without
+//      touching other tenants.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/wfq.h"
+#include "test_util.h"
+
+namespace emogi {
+namespace {
+
+// --- (a) frozen frame layout ------------------------------------------------
+
+void TestGoldenRequestFrame() {
+  net::RequestMsg msg;
+  msg.id = 0x0102030405060708ull;
+  msg.request.kind = runtime::QueryKind::kSssp;
+  msg.request.graph = 2;
+  msg.request.source = 7;
+  msg.request.deadline_ns = 0x1122334455667788ull;
+
+  const std::vector<std::uint8_t> frame = net::EncodeRequest(msg);
+
+  const std::uint8_t expected[] = {
+      // Header: magic "EMGI" (0x49474D45 LE), version 1, type kRequest,
+      // payload_len 32, FNV-1a-32 of the payload below.
+      0x45, 0x4D, 0x47, 0x49, 0x01, 0x00, 0x03, 0x00,
+      0x20, 0x00, 0x00, 0x00, 0xA1, 0x0B, 0x4A, 0x03,
+      // Payload: id, kind, graph, source, reserved, deadline_ns.
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+  };
+  CHECK(frame.size() == sizeof(expected));
+  CHECK(std::memcmp(frame.data(), expected, sizeof(expected)) == 0);
+
+  // The checksum really is FNV-1a 32 (offset-basis 0x811c9dc5).
+  CHECK(net::Fnv1a32(frame.data() + net::kFrameHeaderBytes, 32) ==
+        0x034A0BA1u);
+  CHECK(net::Fnv1a32(nullptr, 0) == 0x811c9dc5u);
+}
+
+// --- (b) lossless round trips -----------------------------------------------
+
+// Decodes `frame_bytes` as exactly one whole frame of `want_type`.
+net::Frame MustDecode(const std::vector<std::uint8_t>& frame_bytes,
+                      net::FrameType want_type) {
+  net::Frame frame;
+  std::size_t consumed = 0;
+  CHECK(net::DecodeFrame(frame_bytes.data(), frame_bytes.size(), &frame,
+                         &consumed) == net::DecodeStatus::kOk);
+  CHECK(consumed == frame_bytes.size());
+  CHECK(frame.type == want_type);
+  return frame;
+}
+
+void TestHelloRoundTrip() {
+  net::HelloMsg msg;
+  msg.tenant = "analytics-7";
+  msg.weight = 12;
+  const net::Frame frame =
+      MustDecode(net::EncodeHello(msg), net::FrameType::kHello);
+  net::HelloMsg out;
+  CHECK(net::DecodeHello(frame.payload, &out));
+  CHECK(out.tenant == "analytics-7");
+  CHECK(out.weight == 12);
+}
+
+void TestHelloAckRoundTrip() {
+  net::HelloAckMsg msg;
+  msg.num_graphs = 3;
+  msg.max_lanes = 64;
+  const net::Frame frame =
+      MustDecode(net::EncodeHelloAck(msg), net::FrameType::kHelloAck);
+  net::HelloAckMsg out;
+  CHECK(net::DecodeHelloAck(frame.payload, &out));
+  CHECK(out.num_graphs == 3);
+  CHECK(out.max_lanes == 64);
+}
+
+void TestRequestRoundTrip() {
+  net::RequestMsg msg;
+  msg.id = 99;
+  msg.request.kind = runtime::QueryKind::kCc;
+  msg.request.graph = 1;
+  msg.request.source = 0xDEADBEEF;
+  msg.request.deadline_ns = 5'000'000;
+  const net::Frame frame =
+      MustDecode(net::EncodeRequest(msg), net::FrameType::kRequest);
+  net::RequestMsg out;
+  CHECK(net::DecodeRequest(frame.payload, &out));
+  CHECK(out.id == 99);
+  CHECK(out.request.kind == runtime::QueryKind::kCc);
+  CHECK(out.request.graph == 1);
+  CHECK(out.request.source == 0xDEADBEEF);
+  CHECK(out.request.deadline_ns == 5'000'000);
+}
+
+void TestResponseRoundTripAllPayloads() {
+  // One response per payload variant: BFS levels, SSSP distances, CC
+  // labels, and a payload-free rejection.
+  {
+    net::ResponseMsg msg;
+    msg.id = 7;
+    msg.serve_seq = 42;
+    msg.latency_ns = 1234;
+    msg.response.status = runtime::Status::kOk;
+    msg.response.kind = runtime::QueryKind::kBfs;
+    msg.response.source = 5;
+    msg.response.graph = 0;
+    msg.response.wave = 3;
+    msg.response.lane = 1;
+    msg.response.levels = {0, 1, 2, 0xFFFFFFFFu};
+    msg.response.edges_scanned = 17;
+    const net::Frame frame =
+        MustDecode(net::EncodeResponse(msg), net::FrameType::kResponse);
+    net::ResponseMsg out;
+    CHECK(net::DecodeResponse(frame.payload, &out));
+    CHECK(out.id == 7 && out.serve_seq == 42 && out.latency_ns == 1234);
+    CHECK(out.response.status == runtime::Status::kOk);
+    CHECK(out.response.kind == runtime::QueryKind::kBfs);
+    CHECK(out.response.source == 5 && out.response.graph == 0);
+    CHECK(out.response.wave == 3 && out.response.lane == 1);
+    CHECK(out.response.levels ==
+          std::vector<std::uint32_t>({0, 1, 2, 0xFFFFFFFFu}));
+    CHECK(out.response.distances.empty() && out.response.labels.empty());
+    CHECK(out.response.edges_scanned == 17);
+  }
+  {
+    net::ResponseMsg msg;
+    msg.id = 8;
+    msg.response.kind = runtime::QueryKind::kSssp;
+    msg.response.distances = {0, 10, 0xFFFFFFFFFFFFFFFFull};
+    const net::Frame frame =
+        MustDecode(net::EncodeResponse(msg), net::FrameType::kResponse);
+    net::ResponseMsg out;
+    CHECK(net::DecodeResponse(frame.payload, &out));
+    CHECK(out.response.distances ==
+          std::vector<std::uint64_t>({0, 10, 0xFFFFFFFFFFFFFFFFull}));
+    CHECK(out.response.levels.empty());
+  }
+  {
+    net::ResponseMsg msg;
+    msg.id = 9;
+    msg.response.kind = runtime::QueryKind::kCc;
+    msg.response.labels = {0, 0, 2, 2};
+    const net::Frame frame =
+        MustDecode(net::EncodeResponse(msg), net::FrameType::kResponse);
+    net::ResponseMsg out;
+    CHECK(net::DecodeResponse(frame.payload, &out));
+    CHECK(out.response.labels == std::vector<graph::VertexId>({0, 0, 2, 2}));
+  }
+  {
+    net::ResponseMsg msg;
+    msg.id = 10;
+    msg.response.status = runtime::Status::kOverloaded;
+    const net::Frame frame =
+        MustDecode(net::EncodeResponse(msg), net::FrameType::kResponse);
+    net::ResponseMsg out;
+    CHECK(net::DecodeResponse(frame.payload, &out));
+    CHECK(out.response.status == runtime::Status::kOverloaded);
+    CHECK(out.serve_seq == 0 && out.latency_ns == 0);
+    CHECK(out.response.levels.empty() && out.response.distances.empty() &&
+          out.response.labels.empty());
+  }
+}
+
+void TestErrorAndGoodbyeRoundTrip() {
+  net::ErrorMsg msg;
+  msg.code = net::ErrorCode::kVersionSkew;
+  msg.message = "speak version 1";
+  const net::Frame frame =
+      MustDecode(net::EncodeError(msg), net::FrameType::kError);
+  net::ErrorMsg out;
+  CHECK(net::DecodeError(frame.payload, &out));
+  CHECK(out.code == net::ErrorCode::kVersionSkew);
+  CHECK(out.message == "speak version 1");
+
+  const net::Frame bye =
+      MustDecode(net::EncodeGoodbye(), net::FrameType::kGoodbye);
+  CHECK(bye.payload.empty());
+}
+
+// --- (c) truncation ---------------------------------------------------------
+
+void TestEveryPrefixIsIncomplete() {
+  net::HelloMsg msg;
+  msg.tenant = "truncate-me";
+  msg.weight = 2;
+  const std::vector<std::uint8_t> bytes = net::EncodeHello(msg);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    net::Frame frame;
+    std::size_t consumed = 123;
+    CHECK(net::DecodeFrame(bytes.data(), len, &frame, &consumed) ==
+          net::DecodeStatus::kIncomplete);
+    CHECK(consumed == 0);
+  }
+}
+
+// --- (d) single-bit corruption ----------------------------------------------
+
+void TestEveryBitFlipIsCaught() {
+  net::RequestMsg msg;
+  msg.id = 31337;
+  msg.request.kind = runtime::QueryKind::kBfs;
+  msg.request.source = 11;
+  const std::vector<std::uint8_t> pristine = net::EncodeRequest(msg);
+
+  for (std::size_t bit = 0; bit < pristine.size() * 8; ++bit) {
+    std::vector<std::uint8_t> corrupt = pristine;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+
+    net::Frame frame;
+    std::size_t consumed = 0;
+    const net::DecodeStatus status =
+        net::DecodeFrame(corrupt.data(), corrupt.size(), &frame, &consumed);
+    if (status != net::DecodeStatus::kOk) continue;  // Typed rejection.
+    // The only undetectable flips are in the type field itself (the
+    // checksum covers the payload, not the header): the result must
+    // then be some *other* valid type, never a silently-accepted
+    // kRequest.
+    CHECK(frame.type != net::FrameType::kRequest);
+    CHECK(bit >= 6 * 8 && bit < 8 * 8);  // Flip was inside the type field.
+  }
+}
+
+// Longer corpus: flip bits of a payload-bearing response too (exercises
+// checksum coverage over a non-trivial payload).
+void TestResponseBitFlipsNeverDecodeOk() {
+  net::ResponseMsg msg;
+  msg.id = 1;
+  msg.response.levels = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::uint8_t> pristine = net::EncodeResponse(msg);
+  for (std::size_t bit = net::kFrameHeaderBytes * 8;
+       bit < pristine.size() * 8; ++bit) {
+    std::vector<std::uint8_t> corrupt = pristine;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    net::Frame frame;
+    std::size_t consumed = 0;
+    // Any payload flip must fail the checksum -- payload corruption can
+    // never reach the message decoders.
+    CHECK(net::DecodeFrame(corrupt.data(), corrupt.size(), &frame,
+                           &consumed) == net::DecodeStatus::kBadChecksum);
+  }
+}
+
+// --- (e) oversized + version skew ------------------------------------------
+
+// A syntactically well-formed header with the given version and
+// declared payload length (checksum over zero payload bytes).
+std::vector<std::uint8_t> HeaderOnly(std::uint16_t version,
+                                     std::uint32_t payload_len) {
+  std::vector<std::uint8_t> bytes(net::kFrameHeaderBytes, 0);
+  const std::uint32_t magic = net::kWireMagic;
+  const std::uint16_t type = 3;  // kRequest.
+  const std::uint32_t checksum = net::Fnv1a32(nullptr, 0);
+  std::memcpy(bytes.data() + 0, &magic, 4);
+  std::memcpy(bytes.data() + 4, &version, 2);
+  std::memcpy(bytes.data() + 6, &type, 2);
+  std::memcpy(bytes.data() + 8, &payload_len, 4);
+  std::memcpy(bytes.data() + 12, &checksum, 4);
+  return bytes;
+}
+
+void TestOversizedAndVersionSkew() {
+  net::Frame frame;
+  std::size_t consumed = 0;
+
+  const std::vector<std::uint8_t> oversized =
+      HeaderOnly(net::kWireVersion, net::kMaxPayloadBytes + 1);
+  CHECK(net::DecodeFrame(oversized.data(), oversized.size(), &frame,
+                         &consumed) == net::DecodeStatus::kOversized);
+
+  const std::vector<std::uint8_t> skewed = HeaderOnly(2, 0);
+  CHECK(net::DecodeFrame(skewed.data(), skewed.size(), &frame, &consumed) ==
+        net::DecodeStatus::kBadVersion);
+
+  // An in-range but unknown frame type is kBadType, not a guess.
+  std::vector<std::uint8_t> bad_type = HeaderOnly(net::kWireVersion, 0);
+  bad_type[6] = 0x99;
+  CHECK(net::DecodeFrame(bad_type.data(), bad_type.size(), &frame,
+                         &consumed) == net::DecodeStatus::kBadType);
+}
+
+// --- (f) payload decoder structural rejections ------------------------------
+
+void TestPayloadDecodersRejectGarbage() {
+  // Hello with a tenant_len pointing past the payload.
+  {
+    net::HelloMsg msg;
+    msg.tenant = "x";
+    const net::Frame frame =
+        MustDecode(net::EncodeHello(msg), net::FrameType::kHello);
+    std::vector<std::uint8_t> payload = frame.payload;
+    payload[4] = 200;  // tenant_len = 200 with 1 byte present.
+    net::HelloMsg out;
+    CHECK(!net::DecodeHello(payload, &out));
+    // Trailing bytes are also a violation.
+    payload = frame.payload;
+    payload.push_back(0);
+    CHECK(!net::DecodeHello(payload, &out));
+  }
+  // Request with an unknown kind enum value.
+  {
+    net::RequestMsg msg;
+    const net::Frame frame =
+        MustDecode(net::EncodeRequest(msg), net::FrameType::kRequest);
+    std::vector<std::uint8_t> payload = frame.payload;
+    payload[8] = 7;  // kind = 7; only kBfs/kSssp/kCc exist.
+    net::RequestMsg out;
+    CHECK(!net::DecodeRequest(payload, &out));
+    // Short payload.
+    payload = frame.payload;
+    payload.pop_back();
+    CHECK(!net::DecodeRequest(payload, &out));
+  }
+  // Response with an unknown status enum value.
+  {
+    net::ResponseMsg msg;
+    msg.response.levels = {1, 2};
+    const net::Frame frame =
+        MustDecode(net::EncodeResponse(msg), net::FrameType::kResponse);
+    std::vector<std::uint8_t> payload = frame.payload;
+    payload[32] = 9;  // status = 9.
+    net::ResponseMsg out;
+    CHECK(!net::DecodeResponse(payload, &out));
+    // Array count larger than the bytes actually present.
+    payload = frame.payload;
+    payload[60] = 200;  // count.
+    CHECK(!net::DecodeResponse(payload, &out));
+  }
+  // Error message longer than allowed.
+  {
+    net::ErrorMsg msg;
+    msg.code = net::ErrorCode::kBadMessage;
+    msg.message = "m";
+    const net::Frame frame =
+        MustDecode(net::EncodeError(msg), net::FrameType::kError);
+    std::vector<std::uint8_t> payload = frame.payload;
+    const std::uint32_t huge = net::kMaxErrorMessageBytes + 1;
+    std::memcpy(payload.data() + 4, &huge, 4);
+    net::ErrorMsg out;
+    CHECK(!net::DecodeError(payload, &out));
+  }
+}
+
+// --- (g) deficit round robin ------------------------------------------------
+
+net::PendingRequest Pending(int tenant, std::uint64_t id,
+                            std::uint64_t connection) {
+  net::PendingRequest p;
+  p.tenant = tenant;
+  p.id = id;
+  p.connection = connection;
+  return p;
+}
+
+void TestWfqExactWeightedOrder() {
+  net::WeightedFairQueue wfq(64);
+  const int heavy = wfq.AddTenant("heavy", 4);
+  const int light = wfq.AddTenant("light", 1);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    CHECK(wfq.Enqueue(heavy, Pending(heavy, 100 + i, 1)));
+    CHECK(wfq.Enqueue(light, Pending(light, 200 + i, 2)));
+  }
+  // One saturated DRR round is 4 heavy pops then 1 light pop; a batch
+  // of 10 is exactly two rounds.
+  const std::vector<net::PendingRequest> batch = wfq.PopBatch(10);
+  CHECK(batch.size() == 10);
+  const int expected[] = {heavy, heavy, heavy, heavy, light,
+                          heavy, heavy, heavy, heavy, light};
+  for (int i = 0; i < 10; ++i) CHECK(batch[i].tenant == expected[i]);
+  // FIFO within a tenant.
+  CHECK(batch[0].id == 100 && batch[3].id == 103 && batch[4].id == 200);
+}
+
+void TestWfqStateCarriesAcrossBatches() {
+  net::WeightedFairQueue wfq(64);
+  const int heavy = wfq.AddTenant("heavy", 4);
+  const int light = wfq.AddTenant("light", 1);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    CHECK(wfq.Enqueue(heavy, Pending(heavy, i, 1)));
+    CHECK(wfq.Enqueue(light, Pending(light, i, 2)));
+  }
+  // Popping one at a time must reproduce the same order as one big
+  // batch: deficits and the cursor persist across PopBatch calls.
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<net::PendingRequest> one = wfq.PopBatch(1);
+    CHECK(one.size() == 1);
+    order.push_back(one[0].tenant);
+  }
+  const std::vector<int> expected = {heavy, heavy, heavy, heavy, light,
+                                     heavy, heavy, heavy, heavy, light};
+  CHECK(order == expected);
+}
+
+void TestWfqNoCreditHoarding() {
+  net::WeightedFairQueue wfq(64);
+  const int heavy = wfq.AddTenant("heavy", 4);
+  const int light = wfq.AddTenant("light", 1);
+  // Heavy has only 2 queued: it pops 2, its queue empties, and its
+  // remaining credit is forfeited (deficit reset on empty).
+  CHECK(wfq.Enqueue(heavy, Pending(heavy, 0, 1)));
+  CHECK(wfq.Enqueue(heavy, Pending(heavy, 1, 1)));
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    CHECK(wfq.Enqueue(light, Pending(light, i, 2)));
+  }
+  std::vector<net::PendingRequest> batch = wfq.PopBatch(5);
+  CHECK(batch.size() == 5);
+  CHECK(batch[0].tenant == heavy && batch[1].tenant == heavy);
+  for (int i = 2; i < 5; ++i) CHECK(batch[i].tenant == light);
+
+  // Refill heavy: it must restart from a fresh weight-sized grant, not
+  // a hoard accumulated while idle.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    CHECK(wfq.Enqueue(heavy, Pending(heavy, 10 + i, 1)));
+  }
+  batch = wfq.PopBatch(5);
+  CHECK(batch.size() == 5);
+  int heavy_pops = 0;
+  for (const net::PendingRequest& p : batch) heavy_pops += p.tenant == heavy;
+  CHECK(heavy_pops == 4);  // Exactly one round's worth.
+}
+
+void TestWfqBoundAndTenantIsolation() {
+  net::WeightedFairQueue wfq(2);
+  const int a = wfq.AddTenant("a", 1);
+  const int b = wfq.AddTenant("b", 1);
+  CHECK(wfq.Enqueue(a, Pending(a, 0, 1)));
+  CHECK(wfq.Enqueue(a, Pending(a, 1, 1)));
+  CHECK(!wfq.Enqueue(a, Pending(a, 2, 1)));  // a is at its bound...
+  CHECK(wfq.Enqueue(b, Pending(b, 0, 2)));   // ...b is unaffected.
+  CHECK(wfq.tenant_depth(a) == 2);
+  CHECK(wfq.tenant_depth(b) == 1);
+  CHECK(wfq.TotalPending() == 3);
+}
+
+void TestWfqAddTenantIdempotentAndClamped() {
+  net::WeightedFairQueue wfq(8);
+  const int t = wfq.AddTenant("t", 0);
+  CHECK(wfq.tenant_weight(t) == 1);  // Clamped up.
+  CHECK(wfq.AddTenant("t", 99) == t);
+  CHECK(wfq.tenant_weight(t) == 1);  // First registration wins.
+  const int big = wfq.AddTenant("big", 1u << 30);
+  CHECK(wfq.tenant_weight(big) == net::kMaxTenantWeight);  // Clamped down.
+  CHECK(wfq.num_tenants() == 2);
+}
+
+void TestWfqDropConnection() {
+  net::WeightedFairQueue wfq(64);
+  const int t = wfq.AddTenant("t", 1);
+  CHECK(wfq.Enqueue(t, Pending(t, 0, /*connection=*/5)));
+  CHECK(wfq.Enqueue(t, Pending(t, 1, /*connection=*/6)));
+  CHECK(wfq.Enqueue(t, Pending(t, 2, /*connection=*/5)));
+  const std::vector<net::PendingRequest> dropped = wfq.DropConnection(5);
+  CHECK(dropped.size() == 2);
+  CHECK(dropped[0].id == 0 && dropped[1].id == 2);
+  CHECK(wfq.TotalPending() == 1);
+  const std::vector<net::PendingRequest> rest = wfq.PopBatch(8);
+  CHECK(rest.size() == 1 && rest[0].connection == 6);
+}
+
+}  // namespace
+}  // namespace emogi
+
+int main() {
+  emogi::TestGoldenRequestFrame();
+  emogi::TestHelloRoundTrip();
+  emogi::TestHelloAckRoundTrip();
+  emogi::TestRequestRoundTrip();
+  emogi::TestResponseRoundTripAllPayloads();
+  emogi::TestErrorAndGoodbyeRoundTrip();
+  emogi::TestEveryPrefixIsIncomplete();
+  emogi::TestEveryBitFlipIsCaught();
+  emogi::TestResponseBitFlipsNeverDecodeOk();
+  emogi::TestOversizedAndVersionSkew();
+  emogi::TestPayloadDecodersRejectGarbage();
+  emogi::TestWfqExactWeightedOrder();
+  emogi::TestWfqStateCarriesAcrossBatches();
+  emogi::TestWfqNoCreditHoarding();
+  emogi::TestWfqBoundAndTenantIsolation();
+  emogi::TestWfqAddTenantIdempotentAndClamped();
+  emogi::TestWfqDropConnection();
+  std::printf("test_net_protocol: all checks passed\n");
+  return 0;
+}

@@ -17,7 +17,24 @@
 // Without --rate-qps the open-loop trace is auto-paced at each run's
 // probed K=1 BFS service time (load ~1). All latency numbers are
 // simulated ns; the outcome is byte-identical at any --threads value.
+//
+// With --listen <path|host:port> the process instead serves the wire
+// protocol (src/net/) to live emogi_client peers: shards stay resident,
+// each connection declares a tenant + WFQ weight, and a deficit
+// round-robin scheduler feeds the wave batcher. The socket is bound
+// only after every shard has loaded, so the socket file (or port)
+// appearing is the readiness signal scripts wait on. SIGINT/SIGTERM
+// trigger a graceful drain: stop accepting, answer everything already
+// admitted, flush, then exit.
+//
+// Exit codes: 0 clean run (trace served, or wire drain delivered every
+// buffered response); 1 forced drain (a peer would not take its final
+// responses within --drain-timeout-ms); 2 usage error; 3 bind/listen
+// failure.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,6 +45,7 @@
 #include "bench/workload.h"
 #include "core/config.h"
 #include "graph/datasets.h"
+#include "net/listener.h"
 #include "serve/server.h"
 
 namespace {
@@ -46,7 +64,24 @@ struct ServeFlags {
   double cc_fraction = 0.0;
   double deadline_ms = 0;
   emogi::core::AccessMode mode = emogi::core::AccessMode::kMergedAligned;
+  // Wire-serving mode (--listen selects it).
+  std::string listen;
+  int max_conns = 64;
+  int drain_timeout_ms = 5000;
 };
+
+// The SIGINT/SIGTERM drain path: the handler writes one 'q' byte to the
+// listener's wake pipe (async-signal-safe -- no locks, no allocation)
+// and the event loop begins its graceful drain.
+volatile int g_shutdown_fd = -1;
+
+void HandleShutdownSignal(int) {
+  const int fd = g_shutdown_fd;
+  if (fd >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+  }
+}
 
 bool ParseMode(const std::string& value, emogi::core::AccessMode* mode) {
   for (const emogi::core::AccessMode candidate :
@@ -68,7 +103,11 @@ int Usage(const char* argv0) {
                "          [--closed-loop CLIENTS] [--queue-bound N] "
                "[--max-lanes K] [--seed S]\n"
                "          [--sssp-fraction F] [--cc-fraction F] "
-               "[--deadline-ms MS]\n",
+               "[--deadline-ms MS]\n"
+               "          [--listen <path|host:port>] [--max-conns N] "
+               "[--drain-timeout-ms MS]\n"
+               "exit codes: 0 clean, 1 forced drain, 2 usage, "
+               "3 bind failure\n",
                argv0);
   return 2;
 }
@@ -120,6 +159,30 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
     } else if (arg == "max-lanes") {
       flags.max_lanes = std::atoi(value.c_str());
+    } else if (arg == "listen") {
+      flags.listen = value;
+    } else if (arg == "max-conns") {
+      // Same strictness as --queue-bound: a wrapped negative would
+      // effectively disable the connection limit.
+      if (value.empty() || value.find_first_not_of("0123456789") !=
+                               std::string::npos) {
+        std::fprintf(stderr,
+                     "emogi_serve: --max-conns '%s' is not a "
+                     "positive integer\n",
+                     value.c_str());
+        return 2;
+      }
+      flags.max_conns = std::atoi(value.c_str());
+    } else if (arg == "drain-timeout-ms") {
+      if (value.empty() || value.find_first_not_of("0123456789") !=
+                               std::string::npos) {
+        std::fprintf(stderr,
+                     "emogi_serve: --drain-timeout-ms '%s' is not a "
+                     "positive integer\n",
+                     value.c_str());
+        return 2;
+      }
+      flags.drain_timeout_ms = std::atoi(value.c_str());
     } else if (arg == "seed") {
       flags.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "sssp-fraction") {
@@ -138,7 +201,9 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (flags.queries <= 0 || flags.queue_bound == 0) return Usage(argv[0]);
+  if (flags.queries <= 0 || flags.queue_bound == 0 || flags.max_conns <= 0) {
+    return Usage(argv[0]);
+  }
 
   const std::vector<std::string> symbols =
       emogi::bench::SelectedSymbols(options);
@@ -181,6 +246,71 @@ int main(int argc, char** argv) {
     const emogi::graph::Csr& csr = emogi::bench::LoadDataset(symbol, options);
     csrs.push_back(&csr);
     server.AddShard(csr, config, symbol);
+  }
+
+  if (!flags.listen.empty()) {
+    // Wire-serving mode: the resident shards are served to live
+    // emogi_client peers instead of a generated trace.
+    emogi::net::ListenerOptions listener_options;
+    listener_options.address = flags.listen;
+    listener_options.max_conns = flags.max_conns;
+    listener_options.tenant_queue_bound = flags.queue_bound;
+    listener_options.max_lanes = flags.max_lanes;
+    listener_options.drain_timeout_ms = flags.drain_timeout_ms;
+    emogi::net::Listener listener(&server.service(), listener_options);
+    std::string error;
+    if (!listener.Open(&error)) {
+      std::fprintf(stderr, "emogi_serve: --listen %s: %s\n",
+                   flags.listen.c_str(), error.c_str());
+      return 3;
+    }
+    g_shutdown_fd = listener.shutdown_write_fd();
+    struct sigaction action = {};
+    action.sa_handler = HandleShutdownSignal;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+
+    // Bound only after every shard loaded: the address appearing is the
+    // readiness signal scripts wait on.
+    std::printf("emogi_serve: %zu shard(s) resident, mode %s, serving on "
+                "%s (max %d conns, per-tenant queue bound %zu, %d lanes)\n",
+                csrs.size(), emogi::core::ToString(flags.mode),
+                listener.bound_address().ToString().c_str(), flags.max_conns,
+                flags.queue_bound, server.options().max_lanes);
+    std::fflush(stdout);
+
+    const int result = listener.Run();
+
+    const emogi::net::ListenerStats stats = listener.Stats();
+    std::printf("\ndrained: %llu conn(s) accepted, %llu refused, "
+                "%llu frame(s) in, %llu response(s) out, "
+                "%llu protocol error(s)\n",
+                static_cast<unsigned long long>(stats.connections_accepted),
+                static_cast<unsigned long long>(stats.connections_refused),
+                static_cast<unsigned long long>(stats.frames_received),
+                static_cast<unsigned long long>(stats.responses_sent),
+                static_cast<unsigned long long>(stats.protocol_errors));
+    if (!stats.tenants.empty()) {
+      std::printf("%-16s %6s %9s %9s %9s %9s %10s %10s\n", "tenant", "weight",
+                  "arrivals", "served", "overload", "invalid", "p50 ms",
+                  "p99 ms");
+      for (const emogi::net::TenantStats& tenant : stats.tenants) {
+        std::printf(
+            "%-16s %6u %9llu %9llu %9llu %9llu %10s %10s\n",
+            tenant.name.c_str(), tenant.weight,
+            static_cast<unsigned long long>(tenant.arrivals),
+            static_cast<unsigned long long>(tenant.served),
+            static_cast<unsigned long long>(tenant.rejected_overload),
+            static_cast<unsigned long long>(tenant.rejected_invalid),
+            FormatDouble(
+                emogi::serve::PercentileNs(tenant.latencies_ns, 50) / 1e6)
+                .c_str(),
+            FormatDouble(
+                emogi::serve::PercentileNs(tenant.latencies_ns, 99) / 1e6)
+                .c_str());
+      }
+    }
+    return result;
   }
 
   emogi::bench::ServeTraceSpec spec;
